@@ -1,0 +1,90 @@
+#pragma once
+/// \file bench_common.hpp
+/// Shared support for the paper-reproduction benches.
+///
+/// Every bench prints the paper's reported numbers next to our measured
+/// `mean ± CI90` so the shape comparison is one glance. Default scale is
+/// reduced for wall-clock sanity (fewer seeds, shorter horizon, fewer
+/// messages); set GLR_PAPER_SCALE=1 for the paper's full parameters and
+/// GLR_BENCH_RUNS=<n> to override the seed count.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "experiment/scenario.hpp"
+#include "experiment/tables.hpp"
+#include "stats/summary.hpp"
+
+namespace glr::bench {
+
+using experiment::fmt;
+using experiment::fmtCI;
+using experiment::fmtPct;
+using experiment::paperScale;
+using experiment::Protocol;
+using experiment::runScenarioSeeds;
+using experiment::ScenarioConfig;
+using experiment::ScenarioResult;
+
+/// Aggregated multi-seed results with 90% confidence intervals.
+struct Agg {
+  stats::ConfidenceInterval ratio;
+  stats::ConfidenceInterval latency;
+  stats::ConfidenceInterval hops;
+  stats::ConfidenceInterval maxPeak;
+  stats::ConfidenceInterval avgPeak;
+  double collisions = 0;
+  double wallSeconds = 0;
+};
+
+inline Agg aggregate(const std::vector<ScenarioResult>& rs) {
+  Agg a;
+  a.ratio = stats::meanCI(
+      experiment::metricAcross(rs, &ScenarioResult::deliveryRatio));
+  a.latency =
+      stats::meanCI(experiment::metricAcross(rs, &ScenarioResult::avgLatency));
+  a.hops =
+      stats::meanCI(experiment::metricAcross(rs, &ScenarioResult::avgHops));
+  a.maxPeak = stats::meanCI(
+      experiment::metricAcross(rs, &ScenarioResult::maxPeakStorage));
+  a.avgPeak = stats::meanCI(
+      experiment::metricAcross(rs, &ScenarioResult::avgPeakStorage));
+  for (const auto& r : rs) {
+    a.collisions += static_cast<double>(r.collisions) / rs.size();
+    a.wallSeconds += r.wallSeconds;
+  }
+  return a;
+}
+
+inline Agg runAgg(const ScenarioConfig& cfg, int runs) {
+  return aggregate(runScenarioSeeds(cfg, runs));
+}
+
+/// Paper Table 1 defaults, scaled down unless GLR_PAPER_SCALE=1.
+inline ScenarioConfig benchConfig(Protocol p, double radius) {
+  ScenarioConfig cfg;
+  cfg.protocol = p;
+  cfg.radius = radius;
+  if (paperScale()) {
+    cfg.numMessages = 1980;
+    cfg.simTime = 3800.0;
+  } else {
+    cfg.numMessages = 400;
+    cfg.simTime = 1200.0;
+  }
+  return cfg;
+}
+
+inline int defaultRuns() { return experiment::benchRuns(2); }
+
+inline void banner(const char* title, const char* paperRef) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("Paper reference: %s\n", paperRef);
+  std::printf("Scale: %s (GLR_PAPER_SCALE=1 for full scale), %d seed(s)\n",
+              paperScale() ? "paper" : "reduced", defaultRuns());
+  std::printf("================================================================\n");
+}
+
+}  // namespace glr::bench

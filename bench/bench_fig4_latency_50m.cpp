@@ -1,0 +1,45 @@
+/// Figure 4 reproduction: average delivery latency vs number of messages in
+/// transit at 50 m radius, GLR vs epidemic. Paper: both rise with load;
+/// epidemic slows down as contention grows (its curve reaches ~170 s at
+/// 2000 messages).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace glr::bench;
+
+int main() {
+  banner("Figure 4: latency vs messages in transit (50 m radius)",
+         "latency rises with load for both; epidemic suffers contention");
+
+  const int runs = defaultRuns();
+  const std::vector<int> counts = paperScale()
+                                      ? std::vector<int>{400, 890, 1400, 1980}
+                                      : std::vector<int>{200, 400, 890};
+  std::printf(
+      "\nmessages | GLR ratio | GLR latency (s) | Epidemic ratio | Epidemic "
+      "latency (s)\n");
+  std::printf(
+      "---------+-----------+-----------------+----------------+-------------"
+      "--------\n");
+  for (const int n : counts) {
+    ScenarioConfig g = benchConfig(Protocol::kGlr, 50.0);
+    g.numMessages = n;
+    ScenarioConfig e = g;
+    e.protocol = Protocol::kEpidemic;
+    const Agg ga = runAgg(g, runs);
+    const Agg ea = runAgg(e, runs);
+    std::printf("  %5d  | %-9s | %-15s | %-14s | %s\n", n,
+                fmtPct(ga.ratio.mean).c_str(), fmtCI(ga.latency, 1).c_str(),
+                fmtPct(ea.ratio.mean).c_str(), fmtCI(ea.latency, 1).c_str());
+  }
+  std::printf(
+      "\nExpected shape: latency grows with messages in transit for both\n"
+      "protocols (paper Figure 4). Note: with unlimited per-node storage our\n"
+      "epidemic baseline is latency-strong at 50 m (flooding is\n"
+      "latency-optimal given infinite resources); GLR's advantages at 50 m\n"
+      "are storage (Tables 4/5) and delivery under storage limits (Fig. 7).\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+/// Figure 7 reproduction: delivery ratio vs per-node storage limit at 50 m.
+/// Paper (1980 messages in transit): epidemic's ratio starts dropping below
+/// ~200 messages/node and collapses toward zero at small buffers; GLR holds
+/// ~100% even at 100 messages/node.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace glr::bench;
+
+int main() {
+  banner("Figure 7: delivery ratio vs per-node storage limit (50 m)",
+         "epidemic degrades below ~200 msgs/node; GLR holds ~100% at 100");
+
+  const int runs = defaultRuns();
+  const std::vector<std::size_t> limits = {25, 50, 100, 150, 200};
+  std::printf("\nstorage/node | GLR ratio      | Epidemic ratio\n");
+  std::printf("-------------+----------------+----------------\n");
+  for (const std::size_t limit : limits) {
+    ScenarioConfig g = benchConfig(Protocol::kGlr, 50.0);
+    g.storageLimit = limit;
+    ScenarioConfig e = g;
+    e.protocol = Protocol::kEpidemic;
+    const Agg ga = runAgg(g, runs);
+    const Agg ea = runAgg(e, runs);
+    std::printf("   %6zu    | %-14s | %s\n", limit,
+                fmtPct(ga.ratio.mean).c_str(), fmtPct(ea.ratio.mean).c_str());
+  }
+  std::printf(
+      "\nExpected shape: GLR's controlled flooding keeps delivery high under\n"
+      "tight buffers while epidemic, which stores everything everywhere,\n"
+      "drops messages and loses delivery (paper Figure 7).\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+/// Table 3 reproduction: delivery ratio with vs without custody transfer.
+/// Paper (890 messages, 50 m, 1200 s):
+///   without custody transfer: 84.7% ± 1%
+///   with custody transfer:    97.9% ± 1%
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace glr::bench;
+
+int main() {
+  banner("Table 3: delivery ratio with vs without custody transfer",
+         "without 84.7% ± 1%, with 97.9% ± 1% (890 msgs, 50 m, 1200 s)");
+
+  const int runs = defaultRuns();
+  std::printf("\ncustody  | delivery ratio   | paper\n");
+  std::printf("---------+------------------+-----------\n");
+  for (const bool custody : {false, true}) {
+    ScenarioConfig cfg = benchConfig(Protocol::kGlr, 50.0);
+    cfg.numMessages = 890;   // the paper fixes this row's workload
+    cfg.simTime = 1200.0;
+    cfg.custody = custody;
+    const auto rs = runScenarioSeeds(cfg, runs);
+    const auto ratio = glr::stats::meanCI(
+        glr::experiment::metricAcross(rs, &ScenarioResult::deliveryRatio));
+    glr::stats::ConfidenceInterval pct{ratio.mean * 100.0,
+                                       ratio.halfwidth * 100.0, ratio.samples};
+    std::printf("%s | %-14s %% | %s\n", custody ? "with    " : "without ",
+                fmtCI(pct, 1).c_str(), custody ? "97.9% ± 1%" : "84.7% ± 1%");
+  }
+  std::printf(
+      "\nExpected shape: custody transfer lifts the delivery ratio by\n"
+      "recovering copies lost to collisions and vanished next hops.\n");
+  return 0;
+}

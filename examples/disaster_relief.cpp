@@ -1,0 +1,64 @@
+/// Disaster-relief scenario: the kind of disrupted network the DTN
+/// literature motivates. A sparse field team (few nodes, short radios, a
+/// long narrow strip) must move status reports back to a command post.
+/// Connectivity is intermittent by construction; messages advance through
+/// store-carry-forward. The example compares GLR against epidemic and
+/// direct delivery under a tight per-node storage budget — the regime the
+/// paper argues GLR is built for (Sec. 3.6).
+
+#include <cstdio>
+
+#include "experiment/scenario.hpp"
+
+namespace {
+
+void report(const char* name, const glr::experiment::ScenarioResult& r) {
+  std::printf(
+      "  %-16s delivery %5.1f%%   latency %6.1f s   hops %4.1f   peak "
+      "storage max %3.0f / avg %5.1f\n",
+      name, 100.0 * r.deliveryRatio, r.avgLatency, r.avgHops,
+      r.maxPeakStorage, r.avgPeakStorage);
+}
+
+}  // namespace
+
+int main() {
+  using namespace glr::experiment;
+
+  // A 3 km x 200 m corridor (a valley road), 30 relief workers/vehicles,
+  // 80 m radios: partitions are the norm, not the exception.
+  ScenarioConfig cfg;
+  cfg.numNodes = 30;
+  cfg.trafficNodes = 25;
+  cfg.areaWidth = 3000.0;
+  cfg.areaHeight = 200.0;
+  cfg.radius = 80.0;
+  cfg.speedMin = 0.5;
+  cfg.speedMax = 15.0;
+  cfg.numMessages = 150;
+  cfg.simTime = 1500.0;
+  cfg.storageLimit = 40;  // constrained field devices
+  cfg.seed = 2026;
+
+  std::printf(
+      "Disaster-relief corridor: %d nodes, %.0fx%.0f m, %.0f m radios,\n"
+      "%d reports, storage limit %zu messages/node, %.0f s horizon.\n\n",
+      cfg.numNodes, cfg.areaWidth, cfg.areaHeight, cfg.radius,
+      cfg.numMessages, cfg.storageLimit, cfg.simTime);
+
+  cfg.protocol = Protocol::kGlr;
+  report("GLR", runScenario(cfg));
+  cfg.protocol = Protocol::kEpidemic;
+  report("Epidemic", runScenario(cfg));
+  cfg.protocol = Protocol::kSprayAndWait;
+  report("Spray-and-wait", runScenario(cfg));
+  cfg.protocol = Protocol::kDirectDelivery;
+  report("Direct delivery", runScenario(cfg));
+
+  std::printf(
+      "\nReading guide: with tight buffers epidemic pays for storing\n"
+      "everything everywhere; GLR's directed copies keep buffers small while\n"
+      "still exploiting mobility. Direct delivery bounds the overhead from\n"
+      "below and the delay from above.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+/// Village-bus DTN (DakNet-style, cited by the paper as motivation): mostly
+/// static village kiosks plus a few mobile couriers ("buses") that shuttle
+/// between them. Demonstrates using the library's World/Agent API directly
+/// — custom mobility models, hand-placed nodes, per-node agents — rather
+/// than the packaged scenario runner.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/glr_agent.hpp"
+#include "dtn/metrics.hpp"
+#include "mobility/mobility.hpp"
+#include "net/world.hpp"
+#include "phy/propagation.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using glr::geom::Point2;
+
+/// A courier that ping-pongs along a fixed route at constant speed.
+class ShuttleMobility final : public glr::mobility::MobilityModel {
+ public:
+  ShuttleMobility(Point2 a, Point2 b, double speed, double phase)
+      : a_(a), b_(b), speed_(speed), phase_(phase) {}
+
+  Point2 positionAt(glr::sim::SimTime t) override {
+    const double leg = glr::geom::dist(a_, b_) / speed_;
+    double u = std::fmod((t + phase_) / leg, 2.0);
+    if (u > 1.0) u = 2.0 - u;  // return trip
+    return a_ + (b_ - a_) * u;
+  }
+
+ private:
+  Point2 a_, b_;
+  double speed_;
+  double phase_;
+};
+
+}  // namespace
+
+int main() {
+  glr::sim::Simulator sim;
+  glr::phy::TwoRayGround propagation;
+  glr::phy::RadioParams radio;
+  radio.nominalRange = 120.0;
+  glr::net::World world{sim, propagation, radio, glr::mac::MacParams{}};
+  glr::dtn::MetricsCollector metrics;
+
+  // Five villages along a 2.4 km road, far beyond radio range of each other.
+  std::vector<Point2> villages{
+      {100, 100}, {700, 140}, {1300, 90}, {1900, 150}, {2400, 100}};
+  for (const Point2 v : villages) {
+    world.addNode(std::make_unique<glr::mobility::StaticMobility>(v),
+                  glr::sim::Rng{10 + static_cast<std::uint64_t>(v.x)});
+  }
+  // Two shuttles covering overlapping halves of the road.
+  world.addNode(std::make_unique<ShuttleMobility>(Point2{100, 120},
+                                                  Point2{1300, 120}, 8.0, 0.0),
+                glr::sim::Rng{1001});
+  world.addNode(std::make_unique<ShuttleMobility>(
+                    Point2{1300, 120}, Point2{2400, 120}, 8.0, 60.0),
+                glr::sim::Rng{1002});
+
+  glr::core::GlrParams params;
+  params.network.numNodes = world.numNodes();
+  params.network.radius = radio.nominalRange;
+  params.network.areaWidth = 2500.0;
+  params.network.areaHeight = 300.0;
+  // The decision rule sees a hopeless static topology; the couriers are the
+  // transport. Three copies exploit both shuttles plus kiosk relays.
+  params.copiesOverride = 3;
+
+  std::vector<glr::core::GlrAgent*> agents;
+  for (std::size_t i = 0; i < world.numNodes(); ++i) {
+    auto agent = std::make_unique<glr::core::GlrAgent>(
+        world, static_cast<int>(i), params, &metrics,
+        glr::sim::Rng{500 + i});
+    agents.push_back(agent.get());
+    world.setAgent(static_cast<int>(i), std::move(agent));
+  }
+  world.start();
+
+  // Village 0 sends hourly-ish reports to the district office at village 4,
+  // which also answers back.
+  for (int k = 0; k < 10; ++k) {
+    sim.schedule(30.0 + 120.0 * k, [&agents] { agents[0]->originate(4); });
+    sim.schedule(90.0 + 120.0 * k, [&agents] { agents[4]->originate(0); });
+  }
+  sim.run(3600.0);
+
+  std::printf("Village-bus DTN after %.0f s:\n", sim.now());
+  std::printf("  messages created  : %zu\n", metrics.createdCount());
+  std::printf("  delivered         : %zu (%.0f%%)\n", metrics.deliveredCount(),
+              100.0 * metrics.deliveryRatio());
+  std::printf("  avg latency       : %.0f s (bus-bound, as expected)\n",
+              metrics.avgLatency());
+  std::printf("  avg hops          : %.1f\n", metrics.avgHops());
+  std::printf(
+      "\nNo end-to-end path ever exists here: deliveries ride the shuttles'\n"
+      "store-carry-forward custody chain, exactly the DTN regime the paper\n"
+      "targets.\n");
+  return 0;
+}

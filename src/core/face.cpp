@@ -1,0 +1,63 @@
+#include "core/face.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace glr::core {
+
+namespace {
+
+/// CCW angle of b around origin a relative to ray a->r, in (0, 2*pi].
+double ccwAngleFrom(geom::Point2 a, geom::Point2 r, geom::Point2 b) {
+  const double base = std::atan2(r.y - a.y, r.x - a.x);
+  const double ang = std::atan2(b.y - a.y, b.x - a.x);
+  double delta = ang - base;
+  const double twoPi = 2.0 * std::numbers::pi;
+  while (delta <= 0.0) delta += twoPi;
+  while (delta > twoPi) delta -= twoPi;
+  return delta;
+}
+
+}  // namespace
+
+std::optional<int> faceNextHop(
+    geom::Point2 self, geom::Point2 reference,
+    const std::vector<std::pair<int, geom::Point2>>& neighbors) {
+  if (neighbors.empty()) return std::nullopt;
+  int best = -1;
+  double bestAngle = 0.0;
+  for (const auto& [id, pos] : neighbors) {
+    const double a = ccwAngleFrom(self, reference, pos);
+    if (best == -1 || a < bestAngle ||
+        (a == bestAngle && id < best)) {
+      best = id;
+      bestAngle = a;
+    }
+  }
+  return best;
+}
+
+std::vector<int> traceFace(const std::vector<geom::Point2>& positions,
+                           const std::vector<std::vector<int>>& adjacency,
+                           int from, int to, int maxSteps) {
+  std::vector<int> visited{from, to};
+  int prev = from;
+  int cur = to;
+  for (int step = 0; step < maxSteps; ++step) {
+    std::vector<std::pair<int, geom::Point2>> nbrs;
+    for (int v : adjacency[static_cast<std::size_t>(cur)]) {
+      nbrs.emplace_back(v, positions[static_cast<std::size_t>(v)]);
+    }
+    const auto next = faceNextHop(positions[static_cast<std::size_t>(cur)],
+                                  positions[static_cast<std::size_t>(prev)],
+                                  nbrs);
+    if (!next.has_value()) break;
+    prev = cur;
+    cur = *next;
+    if (prev == visited[0] && cur == visited[1]) break;  // closed the face
+    visited.push_back(cur);
+  }
+  return visited;
+}
+
+}  // namespace glr::core

@@ -1,0 +1,44 @@
+#pragma once
+/// \file face.hpp
+/// Face (perimeter) routing on the planar LDTG for local-minimum escape.
+///
+/// When greedy progress stalls, the paper applies face routing [Bose et al.,
+/// Frey & Stojmenovic] on the planar spanner. We implement the standard
+/// right-hand rule: from node u, having arrived via reference point r, the
+/// next edge is the first neighbor counter-clockwise from the ray u->r.
+/// The GLR agent enters face mode at a local minimum (recording the entry
+/// position) and exits as soon as the current node is closer to the
+/// destination than the entry point — the store-and-forward layer handles
+/// the cases where static-graph delivery guarantees don't apply anyway
+/// (mobility, disruption).
+
+#include <optional>
+#include <vector>
+
+#include "geometry/point.hpp"
+
+namespace glr::core {
+
+/// Next hop by the right-hand rule.
+///
+/// `self` is the current node position; `reference` the position we came
+/// from (the previous hop), or for face-mode entry any point in the
+/// direction of the destination. Returns the neighbor id whose edge is the
+/// first counter-clockwise from the ray self->reference, or nullopt when
+/// `neighbors` is empty. With a single neighbor, that neighbor is returned
+/// (possibly the previous hop: on a dead-end the face walk turns around).
+[[nodiscard]] std::optional<int> faceNextHop(
+    geom::Point2 self, geom::Point2 reference,
+    const std::vector<std::pair<int, geom::Point2>>& neighbors);
+
+/// Analysis helper: walks the face of a planar graph embedding by the
+/// right-hand rule starting with directed edge (from -> to), returning the
+/// sequence of visited vertices until the walk returns to the starting edge
+/// or `maxSteps` is exceeded. On a correct planar embedding this traces one
+/// face boundary.
+[[nodiscard]] std::vector<int> traceFace(
+    const std::vector<geom::Point2>& positions,
+    const std::vector<std::vector<int>>& adjacency, int from, int to,
+    int maxSteps = 10000);
+
+}  // namespace glr::core

@@ -1,0 +1,431 @@
+#include "core/glr_agent.hpp"
+
+#include <algorithm>
+
+#include "core/face.hpp"
+#include "core/trees.hpp"
+#include "spanner/ldtg.hpp"
+
+namespace glr::core {
+
+GlrAgent::GlrAgent(net::World& world, int self, GlrParams params,
+                   dtn::MetricsCollector* metrics, sim::Rng rng)
+    : world_(world),
+      self_(self),
+      params_(params),
+      metrics_(metrics),
+      rng_(rng),
+      neighbors_(world.sim(), world.macOf(self), self,
+                 [this] { return myPos(); }, params.hello, rng.fork(1)),
+      buffer_(params.storageLimit) {
+  neighbors_.setLocationSampleCallback(
+      [this](int id, geom::Point2 pos, sim::SimTime at) {
+        locations_.update(id, pos, at);
+      });
+  neighbors_.setContactCallback([this](int /*id*/) {
+    // "When its relative location with respect to the neighboring nodes
+    // changes and new path emerges ... it will send the stored messages."
+    // A new contact clears every stored copy's retry backoff and triggers
+    // an immediate route check.
+    if (buffer_.storeSize() == 0) return;
+    buffer_.forEachInStore([](dtn::Message& m) {
+      m.waitChecks = 0;
+      m.retryBackoff = 1;
+    });
+    if (checkQueued_) return;
+    checkQueued_ = true;
+    world_.sim().schedule(0.01, [this] {
+      checkQueued_ = false;
+      checkRoutes();
+    });
+  });
+}
+
+int GlrAgent::copyCount() const {
+  if (params_.copiesOverride > 0) return params_.copiesOverride;
+  return decideCopyCount(params_.network, params_.sparseCopies);
+}
+
+void GlrAgent::start() {
+  neighbors_.start();
+  // Desynchronized periodic route checks.
+  world_.sim().schedule(rng_.uniform(0.0, params_.checkInterval),
+                        [this] { periodicCheck(); });
+}
+
+void GlrAgent::periodicCheck() {
+  checkRoutes();
+  world_.sim().schedule(params_.checkInterval, [this] { periodicCheck(); });
+}
+
+void GlrAgent::originate(int dstNode) {
+  const int copies = copyCount();
+  const auto flags = treeFlagsForCopies(copies);
+
+  dtn::Message base;
+  base.id = {self_, nextSeq_++};
+  base.srcNode = self_;
+  base.dstNode = dstNode;
+  base.created = world_.sim().now();
+  base.payloadBytes = params_.payloadBytes;
+
+  switch (params_.locationMode) {
+    case LocationMode::kOracleAll:
+    case LocationMode::kSourceKnows:
+      // Paper assumption: "Source knows the true destination location."
+      base.destLoc = world_.positionOf(dstNode);
+      base.destLocTime = world_.sim().now();
+      base.destLocKnown = true;
+      break;
+    case LocationMode::kNoneKnow:
+      // "Random location is given at the beginning."
+      base.destLoc = {rng_.uniform(0.0, params_.network.areaWidth),
+                      rng_.uniform(0.0, params_.network.areaHeight)};
+      base.destLocTime = -1e17;  // ancient: any observation supersedes it
+      base.destLocKnown = true;
+      break;
+  }
+
+  if (metrics_ != nullptr) metrics_->onCreated(base.id, base.created);
+  for (const dtn::TreeFlag flag : flags) {
+    dtn::Message copy = base;
+    copy.flag = flag;
+    buffer_.addToStore(std::move(copy));
+  }
+  // Kick an immediate check so fresh messages don't idle a full interval.
+  if (!checkQueued_) {
+    checkQueued_ = true;
+    world_.sim().schedule(0.001, [this] {
+      checkQueued_ = false;
+      checkRoutes();
+    });
+  }
+}
+
+bool GlrAgent::resolveDestination(dtn::Message& m, geom::Point2& out) {
+  if (params_.locationMode == LocationMode::kOracleAll) {
+    out = world_.positionOf(m.dstNode);
+    m.destLoc = out;
+    m.destLocTime = world_.sim().now();
+    m.destLocKnown = true;
+    return true;
+  }
+  // Diffusion, both directions: the holder updates the header when it knows
+  // a fresher location, and learns from the header when the header is
+  // fresher (paper Sec. 2.3.1). Perturbed locations never enter the table.
+  if (m.destLocKnown && !m.destLocPerturbed) {
+    locations_.update(m.dstNode, m.destLoc, m.destLocTime);
+  }
+  if (const auto entry = locations_.lookup(m.dstNode);
+      entry.has_value() && entry->at > m.destLocTime) {
+    m.destLoc = entry->pos;
+    m.destLocTime = entry->at;
+    m.destLocKnown = true;
+    m.destLocPerturbed = false;
+  }
+  if (!m.destLocKnown) return false;
+  out = m.destLoc;
+  return true;
+}
+
+void GlrAgent::maybePerturbDestination(dtn::Message& m) {
+  // Stale-location fix (paper Sec. 3.3): the node closest to a wrong
+  // destination location re-aims the copy at a nearby random location so it
+  // can leave the local minimum. The perturbed location keeps its old
+  // timestamp and is flagged, so it is never diffused as a genuine
+  // observation and any fresher real sample supersedes it immediately.
+  if (m.stuckCount < params_.stuckChecksBeforePerturb) return;
+  if (world_.sim().now() - m.destLocTime < params_.staleLocationAge) return;
+  if (world_.sim().now() - m.lastPerturbAt < params_.staleLocationAge) return;
+  // The paper's trigger: the copy reached the node *closest to* the stale
+  // location — i.e. we are standing at the phantom point and the
+  // destination is not here. Copies stuck far away are stuck because of
+  // partition, not staleness; perturbing them would be noise.
+  if (geom::dist(myPos(), m.destLoc) > params_.network.radius) return;
+  m.lastPerturbAt = world_.sim().now();
+  const double r = params_.network.radius;
+  m.destLoc.x = std::clamp(m.destLoc.x + rng_.uniform(-1.5 * r, 1.5 * r),
+                           0.0, params_.network.areaWidth);
+  m.destLoc.y = std::clamp(m.destLoc.y + rng_.uniform(-1.5 * r, 1.5 * r),
+                           0.0, params_.network.areaHeight);
+  m.destLocPerturbed = true;
+  m.stuckCount = 0;
+  ++counters_.perturbations;
+  if (metrics_ != nullptr) metrics_->count("glr.perturbations");
+}
+
+void GlrAgent::checkRoutes() {
+  if (buffer_.storeSize() == 0) return;
+  const geom::Point2 self = myPos();
+
+  // Local LDTG star: computed once per check from beacon knowledge.
+  const auto knowledge = neighbors_.knowledge();
+  const auto spannerIds = spanner::localSpannerNeighbors(
+      self_, self, knowledge, params_.network.radius, params_.witnessRule);
+  std::vector<std::pair<int, geom::Point2>> spannerNbrs;
+  spannerNbrs.reserve(spannerIds.size());
+  const double sendRange = params_.sendRangeGuard * params_.network.radius;
+  for (const int id : spannerIds) {
+    if (const auto pos = neighbors_.neighborPosition(id); pos.has_value()) {
+      if (geom::dist(self, *pos) <= sendRange) {
+        spannerNbrs.emplace_back(id, *pos);
+      }
+    }
+  }
+
+  int sendBudget = params_.maxSendsPerCheck;
+  for (const dtn::CopyKey& key : buffer_.storeKeys()) {
+    if (sendBudget <= 0) break;  // remaining copies wait for the next check
+    dtn::Message* m = buffer_.findInStore(key);
+    if (m == nullptr) continue;  // evicted or sent meanwhile
+
+    // Direct delivery when the destination is a current neighbor.
+    if (neighbors_.isNeighbor(m->dstNode)) {
+      if (sendCopy(key, m->dstNode)) --sendBudget;
+      continue;
+    }
+
+    // Store-state backoff: after failed attempts the copy waits out checks
+    // (cleared on new contacts) instead of re-walking a dead neighborhood.
+    if (m->waitChecks > 0) {
+      --m->waitChecks;
+      continue;
+    }
+
+    geom::Point2 destPos;
+    if (!resolveDestination(*m, destPos)) {
+      ++m->stuckCount;
+      continue;
+    }
+
+    const auto candidates = progressNeighbors(self, destPos, spannerNbrs);
+
+    // Face-mode exit: we are closer to the destination than where the copy
+    // entered the face (standard perimeter-mode recovery rule).
+    if (m->faceMode && geom::dist(self, destPos) <
+                           geom::dist(m->faceEntry, destPos)) {
+      m->faceMode = false;
+      m->facePrevHop = -1;
+    }
+
+    // Shared failure path: count the stuck check, possibly perturb a stale
+    // destination location, and back off exponentially (capped) until the
+    // next attempt — unless the perturbation just opened a new direction.
+    const auto noRoute = [&](dtn::Message& msg) {
+      ++msg.stuckCount;
+      const sim::SimTime before = msg.lastPerturbAt;
+      maybePerturbDestination(msg);
+      if (msg.lastPerturbAt != before) {
+        msg.waitChecks = 0;  // retry greedy toward the perturbed location
+      } else {
+        msg.waitChecks = msg.retryBackoff;
+        msg.retryBackoff = std::min(2 * msg.retryBackoff, 8);
+      }
+    };
+
+    if (!m->faceMode) {
+      if (const auto next = selectNextHop(m->flag, candidates);
+          next.has_value()) {
+        m->stuckCount = 0;
+        m->retryBackoff = 1;
+        // Real progress: a future local minimum is a new void, so the copy
+        // may face-walk again.
+        m->faceCooldownUntil = -1e18;
+        m->faceExhaustions = 0;
+        if (sendCopy(key, next->id)) --sendBudget;
+        continue;
+      }
+      // Local minimum: try one face walk around the void. In a disconnected
+      // component the walk loops back to us and the copy then waits in
+      // store state (paper Sec. 3.2) until the neighborhood changes; a
+      // cooldown stops the same dead face from being re-walked.
+      if (params_.faceRouting && !spannerNbrs.empty() &&
+          world_.sim().now() >= m->faceCooldownUntil) {
+        m->faceMode = true;
+        m->faceEntry = self;
+        m->faceEntryNode = self_;
+        m->faceHops = 0;
+        m->facePrevHop = -1;
+        ++counters_.faceTransitions;
+        const auto next = faceNextHop(self, destPos, spannerNbrs);
+        if (next.has_value()) {
+          m->faceHops = 1;
+          if (sendCopy(key, *next)) --sendBudget;
+          continue;
+        }
+        m->faceMode = false;
+      }
+      noRoute(*m);
+      continue;
+    }
+
+    // In face mode. Give up the walk when it returned to its entry node or
+    // exhausted its hop budget: store and wait for topology change.
+    if ((m->faceEntryNode == self_ && m->faceHops > 0) ||
+        m->faceHops >= params_.maxFaceHops) {
+      m->faceMode = false;
+      m->facePrevHop = -1;
+      m->faceExhaustions = std::min(m->faceExhaustions + 1, 4);
+      m->faceCooldownUntil =
+          world_.sim().now() +
+          params_.faceCooldown * static_cast<double>(1 << m->faceExhaustions);
+      noRoute(*m);
+      continue;
+    }
+    // Continue the right-hand walk relative to the hop we came from
+    // (falling back to the destination direction if unknown).
+    geom::Point2 ref = destPos;
+    if (m->facePrevHop >= 0) {
+      if (const auto p = neighbors_.neighborPosition(m->facePrevHop);
+          p.has_value()) {
+        ref = *p;
+      }
+    }
+    if (const auto next = faceNextHop(self, ref, spannerNbrs);
+        next.has_value()) {
+      m->faceHops += 1;
+      if (sendCopy(key, *next)) --sendBudget;
+    } else {
+      m->faceMode = false;
+      m->faceExhaustions = std::min(m->faceExhaustions + 1, 4);
+      m->faceCooldownUntil =
+          world_.sim().now() +
+          params_.faceCooldown * static_cast<double>(1 << m->faceExhaustions);
+      noRoute(*m);
+    }
+  }
+}
+
+void GlrAgent::sendCustodyAck(const dtn::CopyKey& key, int to, int attempt) {
+  net::Packet ack;
+  ack.kind = kGlrAckKind;
+  ack.bytes = params_.custodyAckBytes;
+  ack.payload = CustodyAck{key};
+  if (world_.macOf(self_).send(std::move(ack), to)) {
+    ++counters_.custodyAcksSent;
+    return;
+  }
+  // Interface queue full: a lost custody ack forks the copy at the sender,
+  // so retry shortly rather than relying on the sender's cache timeout.
+  if (attempt < params_.ackRetries) {
+    world_.sim().schedule(params_.ackRetryDelay, [this, key, to, attempt] {
+      sendCustodyAck(key, to, attempt + 1);
+    });
+  }
+}
+
+bool GlrAgent::sendCopy(const dtn::CopyKey& key, int nextHop) {
+  dtn::Message* m = buffer_.findInStore(key);
+  if (m == nullptr) return false;
+  // Custody flow control: bound the copies awaiting acknowledgement so the
+  // interface queue cannot be flooded by one route check.
+  if (params_.custodyTransfer && buffer_.cacheSize() >= params_.custodyWindow) {
+    return false;
+  }
+  dtn::Message outMsg = *m;
+  outMsg.facePrevHop = self_;  // receiver's face reference is this node
+
+  net::Packet packet;
+  packet.kind = kGlrDataKind;
+  packet.bytes = outMsg.payloadBytes + params_.dataHeaderBytes;
+  packet.payload = outMsg;
+
+  const bool queued = world_.macOf(self_).send(std::move(packet), nextHop);
+  if (!queued) {
+    // Interface queue full: the frame never went on air, so the copy simply
+    // stays in the Store for a later check (no duplicate risk).
+    ++counters_.txFailures;
+    return false;
+  }
+  if (params_.custodyTransfer) {
+    const sim::SimTime sentAt = world_.sim().now();
+    buffer_.moveToCache(key, nextHop, sentAt);
+    world_.sim().schedule(params_.cacheTimeout, [this, key, sentAt] {
+      // Reschedule only if this exact custody round is still outstanding.
+      if (buffer_.cacheEntrySentAt(key) == sentAt) {
+        buffer_.returnToStore(key);
+        ++counters_.cacheTimeouts;
+      }
+    });
+  } else {
+    buffer_.erase(key);
+  }
+  ++counters_.dataSent;
+  return true;
+}
+
+void GlrAgent::onPacket(const net::Packet& packet, int fromMac) {
+  if (neighbors_.handlePacket(packet, fromMac)) return;
+  if (packet.kind == kGlrDataKind) {
+    handleData(packet, fromMac);
+  } else if (packet.kind == kGlrAckKind) {
+    handleAck(packet);
+  }
+}
+
+void GlrAgent::handleData(const net::Packet& packet, int fromMac) {
+  const auto* pm = std::any_cast<dtn::Message>(&packet.payload);
+  if (pm == nullptr) return;
+  dtn::Message m = *pm;
+  m.hops += 1;
+  ++counters_.dataReceived;
+
+  // Custody acknowledgement back to the sender — also for duplicates and
+  // final delivery, so the sender clears its Cache either way.
+  if (params_.custodyTransfer) {
+    sendCustodyAck(m.key(), fromMac, 0);
+  }
+
+  // Location diffusion from the header.
+  if (m.destLocKnown) {
+    locations_.update(m.dstNode, m.destLoc, m.destLocTime);
+  }
+
+  if (m.dstNode == self_) {
+    if (deliveredHere_.insert(m.id).second) {
+      ++counters_.deliveredHere;
+      if (metrics_ != nullptr) {
+        metrics_->onDelivered(m.id, world_.sim().now(), m.hops);
+      }
+    }
+    // Delivered branches of the same message still buffered here (we might
+    // have been a relay for them) are pointless now; drop them.
+    buffer_.eraseAllBranches(m.id);
+    return;
+  }
+
+  // Dropping a duplicate is safe only when this node itself still holds an
+  // instance (or is the destination): the custody ack then merges the fork
+  // without ever deleting the last live copy.
+  if (deliveredHere_.contains(m.id) || buffer_.contains(m.key())) {
+    ++counters_.duplicatesDropped;
+    return;
+  }
+  // Holder-local retry state restarts at each hop; the face cooldown
+  // deliberately travels with the copy (cleared only by greedy progress).
+  m.stuckCount = 0;
+  m.waitChecks = 0;
+  m.retryBackoff = 1;
+  buffer_.addToStore(std::move(m));
+}
+
+void GlrAgent::handleAck(const net::Packet& packet) {
+  const auto* ack = std::any_cast<CustodyAck>(&packet.payload);
+  if (ack == nullptr) return;
+  if (buffer_.removeFromCache(ack->key).has_value()) {
+    ++counters_.custodyAcksReceived;
+  }
+}
+
+void GlrAgent::onTxStatus(const net::Packet& packet, int /*dstMac*/,
+                          bool success) {
+  if (success || packet.kind != kGlrDataKind) return;
+  ++counters_.txFailures;
+  // MAC gave up (next hop moved away / collisions): reschedule the copy now
+  // rather than waiting for the full cache timeout.
+  if (const auto* pm = std::any_cast<dtn::Message>(&packet.payload)) {
+    buffer_.returnToStore(pm->key());
+  }
+}
+
+}  // namespace glr::core

@@ -1,0 +1,161 @@
+#include "dtn/buffer.hpp"
+
+#include <algorithm>
+
+namespace glr::dtn {
+
+MessageBuffer::MessageBuffer(std::size_t capacity) : capacity_(capacity) {}
+
+void MessageBuffer::notePeak() { peak_ = std::max(peak_, size()); }
+
+bool MessageBuffer::evictOne() {
+  if (!cache_.empty()) {
+    cache_.pop_front();
+    ++drops_;
+    return true;
+  }
+  if (!store_.empty()) {
+    store_.pop_front();
+    ++drops_;
+    return true;
+  }
+  return false;
+}
+
+bool MessageBuffer::addToStore(Message m) {
+  if (contains(m.key())) return false;
+  while (size() >= capacity_) {
+    if (!evictOne()) return false;  // capacity 0
+  }
+  store_.push_back(std::move(m));
+  notePeak();
+  return true;
+}
+
+bool MessageBuffer::moveToCache(const CopyKey& key, int nextHop,
+                                sim::SimTime now) {
+  for (auto it = store_.begin(); it != store_.end(); ++it) {
+    if (it->key() == key) {
+      cache_.push_back({std::move(*it), nextHop, now});
+      store_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<Message> MessageBuffer::removeFromCache(const CopyKey& key) {
+  for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+    if (it->message.key() == key) {
+      Message m = std::move(it->message);
+      cache_.erase(it);
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+bool MessageBuffer::returnToStore(const CopyKey& key) {
+  for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+    if (it->message.key() == key) {
+      store_.push_back(std::move(it->message));
+      cache_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MessageBuffer::erase(const CopyKey& key) {
+  for (auto it = store_.begin(); it != store_.end(); ++it) {
+    if (it->key() == key) {
+      store_.erase(it);
+      return true;
+    }
+  }
+  for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+    if (it->message.key() == key) {
+      cache_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t MessageBuffer::eraseAllBranches(const MessageId& id) {
+  std::size_t removed = 0;
+  for (auto it = store_.begin(); it != store_.end();) {
+    if (it->id == id) {
+      it = store_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (it->message.id == id) {
+      it = cache_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+bool MessageBuffer::inStore(const CopyKey& key) const {
+  return std::any_of(store_.begin(), store_.end(),
+                     [&](const Message& m) { return m.key() == key; });
+}
+
+bool MessageBuffer::inCache(const CopyKey& key) const {
+  return std::any_of(cache_.begin(), cache_.end(), [&](const CacheEntry& e) {
+    return e.message.key() == key;
+  });
+}
+
+bool MessageBuffer::containsAnyBranch(const MessageId& id) const {
+  return std::any_of(store_.begin(), store_.end(),
+                     [&](const Message& m) { return m.id == id; }) ||
+         std::any_of(cache_.begin(), cache_.end(), [&](const CacheEntry& e) {
+           return e.message.id == id;
+         });
+}
+
+Message* MessageBuffer::findInStore(const CopyKey& key) {
+  for (Message& m : store_) {
+    if (m.key() == key) return &m;
+  }
+  return nullptr;
+}
+
+void MessageBuffer::forEachInStore(
+    const std::function<void(Message&)>& fn) {
+  for (Message& m : store_) fn(m);
+}
+
+std::vector<CopyKey> MessageBuffer::storeKeys() const {
+  std::vector<CopyKey> out;
+  out.reserve(store_.size());
+  for (const Message& m : store_) out.push_back(m.key());
+  return out;
+}
+
+std::optional<sim::SimTime> MessageBuffer::cacheEntrySentAt(
+    const CopyKey& key) const {
+  for (const CacheEntry& e : cache_) {
+    if (e.message.key() == key) return e.sentAt;
+  }
+  return std::nullopt;
+}
+
+std::vector<CopyKey> MessageBuffer::cachedSentBefore(
+    sim::SimTime before) const {
+  std::vector<CopyKey> out;
+  for (const CacheEntry& e : cache_) {
+    if (e.sentAt < before) out.push_back(e.message.key());
+  }
+  return out;
+}
+
+}  // namespace glr::dtn

@@ -1,0 +1,113 @@
+#pragma once
+/// \file buffer.hpp
+/// Message storage with the paper's two areas and custody semantics.
+///
+/// "Two storage areas are maintained ...: the Store is the place where
+/// messages are waiting to be sent whereas messages that are just sent are
+/// saved in the Cache" (Sec. 2.3.2). A copy moves Store -> Cache on
+/// transmission, is deleted from the Cache on a custody acknowledgement, and
+/// moves back to the Store when the cache residency times out (lost message
+/// or lost ack). Under storage pressure "message in the Cache is dropped
+/// first" (Sec. 3.6); within an area, FIFO.
+///
+/// The same class backs the epidemic baseline (store only, FIFO drop).
+/// Occupancy peaks are tracked on every mutation for the storage tables.
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <optional>
+#include <vector>
+
+#include "dtn/message.hpp"
+
+namespace glr::dtn {
+
+inline constexpr std::size_t kUnlimitedStorage = SIZE_MAX;
+
+class MessageBuffer {
+ public:
+  explicit MessageBuffer(std::size_t capacity = kUnlimitedStorage);
+
+  /// Adds a copy to the Store (FIFO tail). Returns false (and changes
+  /// nothing) if the same copy is already present in Store or Cache.
+  /// Under capacity pressure evicts Cache-first / FIFO until it fits;
+  /// if the buffer is full and nothing is evictable the message is rejected.
+  bool addToStore(Message m);
+
+  /// Moves a stored copy to the Cache, recording next hop and send time.
+  /// Returns false if the copy is not in the Store.
+  bool moveToCache(const CopyKey& key, int nextHop, sim::SimTime now);
+
+  /// Deletes a copy from the Cache (custody acknowledged). Returns the
+  /// removed message if present.
+  std::optional<Message> removeFromCache(const CopyKey& key);
+
+  /// Moves a cached copy back to the Store tail (ack lost / timed out).
+  /// Returns false if the copy is no longer cached.
+  bool returnToStore(const CopyKey& key);
+
+  /// Removes a copy wherever it is (e.g. destination reached by another
+  /// branch). Returns true if something was removed.
+  bool erase(const CopyKey& key);
+
+  /// Removes every branch of message `id` from both areas; returns the
+  /// number of copies removed.
+  std::size_t eraseAllBranches(const MessageId& id);
+
+  [[nodiscard]] bool inStore(const CopyKey& key) const;
+  [[nodiscard]] bool inCache(const CopyKey& key) const;
+  [[nodiscard]] bool contains(const CopyKey& key) const {
+    return inStore(key) || inCache(key);
+  }
+  /// True if any copy of this message id (any branch) is held.
+  [[nodiscard]] bool containsAnyBranch(const MessageId& id) const;
+
+  /// Mutable access to a stored copy (header updates, face-mode state).
+  [[nodiscard]] Message* findInStore(const CopyKey& key);
+
+  /// Applies `fn` to every stored message (e.g. clearing retry backoff when
+  /// a new contact appears).
+  void forEachInStore(const std::function<void(Message&)>& fn);
+
+  /// Stable snapshot of Store keys, FIFO order (safe to mutate while
+  /// iterating the snapshot).
+  [[nodiscard]] std::vector<CopyKey> storeKeys() const;
+
+  /// Cached copies sent before `before` (custody reschedule candidates).
+  [[nodiscard]] std::vector<CopyKey> cachedSentBefore(sim::SimTime before) const;
+
+  /// When the cached copy was sent, if it is currently cached. Custody
+  /// timeout handlers compare this against their own send time so a stale
+  /// timer cannot disturb a newer custody round of the same copy.
+  [[nodiscard]] std::optional<sim::SimTime> cacheEntrySentAt(
+      const CopyKey& key) const;
+
+  [[nodiscard]] std::size_t storeSize() const { return store_.size(); }
+  [[nodiscard]] std::size_t cacheSize() const { return cache_.size(); }
+  [[nodiscard]] std::size_t size() const {
+    return store_.size() + cache_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t peakSize() const { return peak_; }
+  [[nodiscard]] std::uint64_t dropCount() const { return drops_; }
+
+ private:
+  struct CacheEntry {
+    Message message;
+    int nextHop = -1;
+    sim::SimTime sentAt = 0;
+  };
+
+  void notePeak();
+  /// Evicts one message per the paper's policy; false if nothing evictable.
+  bool evictOne();
+
+  std::size_t capacity_;
+  std::list<Message> store_;       // FIFO: front = oldest
+  std::list<CacheEntry> cache_;    // FIFO: front = oldest
+  std::size_t peak_ = 0;
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace glr::dtn

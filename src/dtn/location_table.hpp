@@ -1,0 +1,46 @@
+#pragma once
+/// \file location_table.hpp
+/// Per-node table of other nodes' last known locations with timestamps
+/// (paper Sec. 2.3.1): fed by hello exchanges and by destination-location
+/// fields in message headers; always keeps the freshest observation.
+
+#include <optional>
+#include <unordered_map>
+
+#include "geometry/point.hpp"
+#include "sim/simulator.hpp"
+
+namespace glr::dtn {
+
+class LocationTable {
+ public:
+  struct Entry {
+    geom::Point2 pos;
+    sim::SimTime at = -1e18;
+  };
+
+  /// Records an observation; keeps it only if fresher than what is stored.
+  /// Returns true if the table was updated.
+  bool update(int id, geom::Point2 pos, sim::SimTime at) {
+    auto [it, inserted] = table_.try_emplace(id, Entry{pos, at});
+    if (inserted) return true;
+    if (at > it->second.at) {
+      it->second = {pos, at};
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::optional<Entry> lookup(int id) const {
+    const auto it = table_.find(id);
+    if (it == table_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] std::size_t size() const { return table_.size(); }
+
+ private:
+  std::unordered_map<int, Entry> table_;
+};
+
+}  // namespace glr::dtn

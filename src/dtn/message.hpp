@@ -1,0 +1,115 @@
+#pragma once
+/// \file message.hpp
+/// DTN message representation shared by GLR and the baseline protocols.
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+#include "geometry/point.hpp"
+#include "sim/simulator.hpp"
+
+namespace glr::dtn {
+
+/// Globally unique message identity: (origin node, per-origin sequence).
+struct MessageId {
+  int src = -1;
+  int seq = -1;
+
+  friend constexpr auto operator<=>(const MessageId&,
+                                    const MessageId&) = default;
+};
+
+/// Which source-to-destination tree a GLR copy follows (paper Sec. 2.3).
+/// Copies of the same message on different trees are distinct custody units;
+/// the paper's acknowledgements carry the branch for the same reason.
+enum class TreeFlag : std::uint8_t {
+  kNone = 0,  // single-copy / non-GLR protocols
+  kMax = 1,   // neighbor making maximum progress (closest to destination)
+  kMin = 2,   // minimum positive progress
+  kMid = 3,   // median progress
+};
+
+/// Custody/copy key: message identity plus tree branch.
+struct CopyKey {
+  MessageId id;
+  TreeFlag flag = TreeFlag::kNone;
+
+  friend constexpr auto operator<=>(const CopyKey&, const CopyKey&) = default;
+};
+
+struct Message {
+  MessageId id;
+  int srcNode = -1;
+  int dstNode = -1;
+  sim::SimTime created = 0;
+  std::size_t payloadBytes = 1000;  // paper Table 1
+
+  /// Tree branch this copy follows (kNone => plain greedy / baseline).
+  TreeFlag flag = TreeFlag::kNone;
+
+  /// Destination location estimate carried in the header (paper: message
+  /// holder includes the freshest known destination location; relays update
+  /// it during the location diffusion handshake).
+  geom::Point2 destLoc;
+  sim::SimTime destLocTime = -1e18;
+  bool destLocKnown = false;
+
+  /// Perimeter (face-routing) state: set when the copy entered face mode at
+  /// a local minimum; cleared when greedy progress resumes. faceHops and
+  /// faceEntryNode bound the walk: returning to the entry node (or running
+  /// out of budget) means the face is exhausted and the copy must wait for
+  /// mobility instead of circulating.
+  bool faceMode = false;
+  geom::Point2 faceEntry;
+  int facePrevHop = -1;
+  int faceEntryNode = -1;
+  int faceHops = 0;
+
+  /// True when destLoc was locally perturbed (stale-location fix): such a
+  /// location is a routing aid, never diffused as a genuine observation.
+  bool destLocPerturbed = false;
+
+  int hops = 0;
+
+  /// Consecutive route checks at the current holder without any usable next
+  /// hop; drives the stale-location perturbation (paper Sec. 3.3).
+  int stuckCount = 0;
+
+  /// Store-state throttling (paper: stored messages are re-sent when the
+  /// neighborhood changes): after a failed attempt the copy skips
+  /// `waitChecks` route checks, with exponential growth up to a small cap;
+  /// a new contact clears the wait. All holder-local, reset at each hop.
+  int waitChecks = 0;
+  int retryBackoff = 1;
+
+  /// Last stale-location perturbation time (cooldown bookkeeping).
+  sim::SimTime lastPerturbAt = -1e18;
+
+  /// No face walk is re-attempted before this time. A face that already
+  /// looped back cannot deliver until topology changes, so re-walking it is
+  /// pure contention; the cooldown escalates with consecutive exhausted
+  /// walks and both travel with the copy until greedy progress resumes.
+  sim::SimTime faceCooldownUntil = -1e18;
+  int faceExhaustions = 0;
+
+  [[nodiscard]] CopyKey key() const { return {id, flag}; }
+};
+
+}  // namespace glr::dtn
+
+template <>
+struct std::hash<glr::dtn::MessageId> {
+  std::size_t operator()(const glr::dtn::MessageId& id) const noexcept {
+    return std::hash<long long>{}(
+        (static_cast<long long>(id.src) << 32) ^ id.seq);
+  }
+};
+
+template <>
+struct std::hash<glr::dtn::CopyKey> {
+  std::size_t operator()(const glr::dtn::CopyKey& k) const noexcept {
+    return std::hash<glr::dtn::MessageId>{}(k.id) * 31 +
+           static_cast<std::size_t>(k.flag);
+  }
+};

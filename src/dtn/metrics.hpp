@@ -1,0 +1,86 @@
+#pragma once
+/// \file metrics.hpp
+/// Scenario-wide delivery metrics shared by all agents of one run.
+///
+/// Tracks creation and first-delivery times per message id (copies/branches
+/// collapse onto the id), hop counts of the delivering copy, and named
+/// event counters (perturbations, custody acks, ...). The experiment layer
+/// reads aggregates to produce the paper's delivery-ratio / latency / hops /
+/// storage rows.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "dtn/message.hpp"
+#include "sim/simulator.hpp"
+
+namespace glr::dtn {
+
+class MetricsCollector {
+ public:
+  void onCreated(const MessageId& id, sim::SimTime t) {
+    created_.try_emplace(id, t);
+  }
+
+  /// Records the first delivery of `id`; later copies count as duplicates.
+  void onDelivered(const MessageId& id, sim::SimTime t, int hops) {
+    const auto it = created_.find(id);
+    if (it == created_.end()) return;  // unknown message: ignore defensively
+    const auto [dit, inserted] = delivered_.try_emplace(id, Delivery{t, hops});
+    if (!inserted) {
+      ++duplicateDeliveries_;
+      return;
+    }
+    latencySum_ += t - it->second;
+    hopsSum_ += hops;
+  }
+
+  void count(const std::string& key, std::uint64_t delta = 1) {
+    counters_[key] += delta;
+  }
+
+  [[nodiscard]] std::size_t createdCount() const { return created_.size(); }
+  [[nodiscard]] std::size_t deliveredCount() const {
+    return delivered_.size();
+  }
+  [[nodiscard]] double deliveryRatio() const {
+    return created_.empty() ? 0.0
+                            : static_cast<double>(delivered_.size()) /
+                                  static_cast<double>(created_.size());
+  }
+  /// Mean creation-to-first-delivery latency over delivered messages.
+  [[nodiscard]] double avgLatency() const {
+    return delivered_.empty()
+               ? 0.0
+               : latencySum_ / static_cast<double>(delivered_.size());
+  }
+  /// Mean hop count of the first-delivered copy.
+  [[nodiscard]] double avgHops() const {
+    return delivered_.empty()
+               ? 0.0
+               : hopsSum_ / static_cast<double>(delivered_.size());
+  }
+  [[nodiscard]] std::uint64_t duplicateDeliveries() const {
+    return duplicateDeliveries_;
+  }
+  [[nodiscard]] std::uint64_t counter(const std::string& key) const {
+    const auto it = counters_.find(key);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+ private:
+  struct Delivery {
+    sim::SimTime at = 0;
+    int hops = 0;
+  };
+
+  std::unordered_map<MessageId, sim::SimTime> created_;
+  std::unordered_map<MessageId, Delivery> delivered_;
+  std::unordered_map<std::string, std::uint64_t> counters_;
+  double latencySum_ = 0.0;
+  double hopsSum_ = 0.0;
+  std::uint64_t duplicateDeliveries_ = 0;
+};
+
+}  // namespace glr::dtn

@@ -1,0 +1,225 @@
+#include "experiment/scenario.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+
+#include "dtn/metrics.hpp"
+#include "mobility/mobility.hpp"
+#include "net/world.hpp"
+#include "phy/propagation.hpp"
+#include "routing/direct.hpp"
+#include "routing/epidemic.hpp"
+#include "routing/spray_wait.hpp"
+#include "sim/rng.hpp"
+#include "stats/summary.hpp"
+
+namespace glr::experiment {
+
+const char* protocolName(Protocol p) {
+  switch (p) {
+    case Protocol::kGlr:
+      return "GLR";
+    case Protocol::kEpidemic:
+      return "Epidemic";
+    case Protocol::kDirectDelivery:
+      return "DirectDelivery";
+    case Protocol::kSprayAndWait:
+      return "SprayAndWait";
+  }
+  return "?";
+}
+
+namespace {
+
+/// RNG stream ids, one per subsystem, so configuration changes in one
+/// subsystem never perturb another's draws.
+enum Stream : std::uint64_t {
+  kPlacement = 1,
+  kMobility = 2,      // + node id
+  kTraffic = 3,
+  kMac = 4,           // + node id
+  kAgent = 5,         // + node id
+};
+
+std::unique_ptr<routing::DtnAgent> makeAgent(const ScenarioConfig& cfg,
+                                             net::World& world, int id,
+                                             dtn::MetricsCollector* metrics,
+                                             sim::Rng rng) {
+  net::NeighborService::Params hello;
+  hello.helloInterval = cfg.helloInterval;
+  hello.expiry = 3.0 * cfg.helloInterval;
+
+  switch (cfg.protocol) {
+    case Protocol::kGlr: {
+      core::GlrParams p;
+      p.checkInterval = cfg.checkInterval;
+      p.cacheTimeout = cfg.cacheTimeout;
+      p.custodyTransfer = cfg.custody;
+      p.faceRouting = cfg.faceRouting;
+      p.witnessRule = cfg.witnessRule;
+      p.copiesOverride = cfg.copiesOverride;
+      p.network.numNodes = static_cast<std::size_t>(cfg.numNodes);
+      p.network.radius = cfg.radius;
+      p.network.areaWidth = cfg.areaWidth;
+      p.network.areaHeight = cfg.areaHeight;
+      p.locationMode = cfg.locationMode;
+      p.storageLimit = cfg.storageLimit;
+      hello.includeNeighborList = true;  // 2-hop knowledge for the LDTG
+      p.hello = hello;
+      return std::make_unique<core::GlrAgent>(world, id, p, metrics, rng);
+    }
+    case Protocol::kEpidemic: {
+      routing::EpidemicParams p;
+      p.storageLimit = cfg.storageLimit;
+      hello.includeNeighborList = false;
+      p.hello = hello;
+      return std::make_unique<routing::EpidemicAgent>(world, id, p, metrics,
+                                                      rng);
+    }
+    case Protocol::kDirectDelivery: {
+      routing::DirectParams p;
+      p.storageLimit = cfg.storageLimit;
+      p.checkInterval = cfg.checkInterval;
+      hello.includeNeighborList = false;
+      p.hello = hello;
+      return std::make_unique<routing::DirectDeliveryAgent>(world, id, p,
+                                                            metrics, rng);
+    }
+    case Protocol::kSprayAndWait: {
+      routing::SprayWaitParams p;
+      p.copyBudget = cfg.sprayBudget;
+      p.storageLimit = cfg.storageLimit;
+      hello.includeNeighborList = false;
+      p.hello = hello;
+      return std::make_unique<routing::SprayWaitAgent>(world, id, p, metrics,
+                                                       rng);
+    }
+  }
+  throw std::invalid_argument{"makeAgent: unknown protocol"};
+}
+
+}  // namespace
+
+ScenarioResult runScenario(const ScenarioConfig& cfg) {
+  if (cfg.numNodes < 2 || cfg.trafficNodes > cfg.numNodes) {
+    throw std::invalid_argument{"runScenario: bad node counts"};
+  }
+  const auto wallStart = std::chrono::steady_clock::now();
+
+  sim::Rng master{cfg.seed};
+  sim::Simulator simulator;
+  phy::TwoRayGround model;
+  phy::RadioParams radio;
+  radio.nominalRange = cfg.radius;
+  radio.bitRateBps = cfg.bitRateBps;
+  mac::MacParams macParams;
+  macParams.queueLimit = cfg.queueLimit;
+
+  net::World world{simulator, model, radio, macParams};
+  dtn::MetricsCollector metrics;
+
+  const mobility::Area area{cfg.areaWidth, cfg.areaHeight};
+  sim::Rng placementRng = master.fork(kPlacement);
+  std::vector<routing::DtnAgent*> agents;
+  for (int i = 0; i < cfg.numNodes; ++i) {
+    const geom::Point2 start = mobility::randomPosition(area, placementRng);
+    auto mob = std::make_unique<mobility::RandomWaypoint>(
+        area, cfg.speedMin, cfg.speedMax, cfg.pause, start,
+        master.fork(kMobility * 1000 + static_cast<std::uint64_t>(i)));
+    world.addNode(std::move(mob),
+                  master.fork(kMac * 1000 + static_cast<std::uint64_t>(i)));
+    auto agent = makeAgent(
+        cfg, world, i, &metrics,
+        master.fork(kAgent * 1000 + static_cast<std::uint64_t>(i)));
+    agents.push_back(agent.get());
+    world.setAgent(i, std::move(agent));
+  }
+
+  // Workload: ordered (src, dst) pairs among the traffic subset, shuffled;
+  // one message per interval (paper: every second), wrapping if more
+  // messages than pairs are requested.
+  sim::Rng trafficRng = master.fork(kTraffic);
+  std::vector<std::pair<int, int>> pairs;
+  for (int i = 0; i < cfg.trafficNodes; ++i) {
+    for (int j = 0; j < cfg.trafficNodes; ++j) {
+      if (i != j) pairs.emplace_back(i, j);
+    }
+  }
+  for (std::size_t i = pairs.size(); i > 1; --i) {
+    std::swap(pairs[i - 1], pairs[trafficRng.below(i)]);
+  }
+  for (int k = 0; k < cfg.numMessages; ++k) {
+    const auto [src, dst] = pairs[static_cast<std::size_t>(k) % pairs.size()];
+    simulator.schedule(cfg.trafficStart + k * cfg.messageInterval,
+                       [agent = agents[static_cast<std::size_t>(src)], dst] {
+                         agent->originate(dst);
+                       });
+  }
+
+  world.start();
+  simulator.run(cfg.simTime);
+
+  ScenarioResult r;
+  r.created = metrics.createdCount();
+  r.delivered = metrics.deliveredCount();
+  r.deliveryRatio = metrics.deliveryRatio();
+  r.avgLatency = metrics.avgLatency();
+  r.avgHops = metrics.avgHops();
+  r.duplicateDeliveries = metrics.duplicateDeliveries();
+  r.perturbations = metrics.counter("glr.perturbations");
+
+  stats::Summary peaks;
+  for (const routing::DtnAgent* a : agents) {
+    peaks.add(static_cast<double>(a->storagePeak()));
+    if (const auto* g = dynamic_cast<const core::GlrAgent*>(a)) {
+      const core::GlrCounters& c = g->counters();
+      r.glrDataSent += c.dataSent;
+      r.glrDataReceived += c.dataReceived;
+      r.glrDuplicatesDropped += c.duplicatesDropped;
+      r.glrCustodyAcksSent += c.custodyAcksSent;
+      r.glrCustodyAcksReceived += c.custodyAcksReceived;
+      r.glrCacheTimeouts += c.cacheTimeouts;
+      r.glrTxFailures += c.txFailures;
+      r.glrFaceTransitions += c.faceTransitions;
+    }
+  }
+  r.maxPeakStorage = peaks.max();
+  r.avgPeakStorage = peaks.mean();
+
+  for (int i = 0; i < cfg.numNodes; ++i) {
+    const auto& ms = world.macOf(i).stats();
+    r.macDataTx += ms.dataTx;
+    r.macQueueDrops += ms.queueDrops;
+    r.macRetryDrops += ms.retryDrops;
+  }
+  r.collisions = world.channel().stats().collisions;
+  r.airTimeSeconds = world.channel().stats().airTimeSeconds;
+  r.eventsExecuted = simulator.eventsExecuted();
+  r.wallSeconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - wallStart)
+                      .count();
+  return r;
+}
+
+std::vector<ScenarioResult> runScenarioSeeds(ScenarioConfig cfg, int runs) {
+  std::vector<ScenarioResult> out;
+  out.reserve(static_cast<std::size_t>(runs));
+  const std::uint64_t base = cfg.seed;
+  for (int i = 0; i < runs; ++i) {
+    cfg.seed = base + static_cast<std::uint64_t>(i) * 1009;
+    out.push_back(runScenario(cfg));
+  }
+  return out;
+}
+
+std::vector<double> metricAcross(const std::vector<ScenarioResult>& rs,
+                                 double ScenarioResult::*field) {
+  std::vector<double> out;
+  out.reserve(rs.size());
+  for (const auto& r : rs) out.push_back(r.*field);
+  return out;
+}
+
+}  // namespace glr::experiment

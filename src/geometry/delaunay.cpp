@@ -1,0 +1,279 @@
+#include "geometry/delaunay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+#include "geometry/predicates.hpp"
+
+namespace glr::geom {
+
+namespace {
+
+constexpr int kNone = -1;
+
+/// Mutable triangle soup used during construction.
+struct Tri {
+  std::array<int, 3> v{kNone, kNone, kNone};    // CCW vertices
+  std::array<int, 3> nbr{kNone, kNone, kNone};  // nbr[i] is across edge opposite v[i]
+  bool alive = false;
+};
+
+struct Builder {
+  std::vector<Point2> pts;  // input points + 3 super vertices
+  std::vector<Tri> tris;
+  int lastAlive = kNone;  // walk start hint
+
+  [[nodiscard]] bool inTriangle(int t, Point2 p, int& exitEdge) const {
+    // Returns true if p is inside or on triangle t; otherwise sets exitEdge
+    // to an edge index whose opposite neighbor is closer to p.
+    const Tri& tr = tris[t];
+    for (int e = 0; e < 3; ++e) {
+      const Point2 a = pts[tr.v[(e + 1) % 3]];
+      const Point2 b = pts[tr.v[(e + 2) % 3]];
+      if (orient2d(a, b, p) < 0.0) {
+        exitEdge = e;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Visibility walk from the hint triangle; guaranteed to terminate on a
+  /// Delaunay triangulation.
+  [[nodiscard]] int locate(Point2 p) const {
+    int t = lastAlive;
+    if (t == kNone || !tris[t].alive) {
+      for (std::size_t i = 0; i < tris.size(); ++i) {
+        if (tris[i].alive) {
+          t = static_cast<int>(i);
+          break;
+        }
+      }
+    }
+    if (t == kNone) throw std::logic_error{"Delaunay::locate: no triangles"};
+    for (std::size_t guard = 0; guard <= 4 * tris.size() + 16; ++guard) {
+      int exitEdge = kNone;
+      if (inTriangle(t, p, exitEdge)) return t;
+      const int next = tris[t].nbr[exitEdge];
+      if (next == kNone) {
+        throw std::logic_error{
+            "Delaunay::locate: walked outside the super-triangle"};
+      }
+      t = next;
+    }
+    throw std::logic_error{"Delaunay::locate: walk did not terminate"};
+  }
+
+  [[nodiscard]] bool inCircumcircle(int t, Point2 p) const {
+    const Tri& tr = tris[t];
+    return incircle(pts[tr.v[0]], pts[tr.v[1]], pts[tr.v[2]], p) > 0.0;
+  }
+
+  int newTriangle(int a, int b, int c) {
+    Tri tr;
+    tr.v = {a, b, c};
+    tr.alive = true;
+    tris.push_back(tr);
+    return static_cast<int>(tris.size() - 1);
+  }
+
+  void insert(int pi) {
+    const Point2 p = pts[pi];
+    const int seed = locate(p);
+
+    // Grow the cavity: all triangles whose circumcircle contains p.
+    std::vector<int> cavity;
+    std::vector<char> inCavity(tris.size(), 0);
+    std::vector<int> stack{seed};
+    inCavity[seed] = 1;
+    while (!stack.empty()) {
+      const int t = stack.back();
+      stack.pop_back();
+      cavity.push_back(t);
+      for (int e = 0; e < 3; ++e) {
+        const int n = tris[t].nbr[e];
+        if (n == kNone || inCavity[n]) continue;
+        if (inCircumcircle(n, p)) {
+          inCavity[n] = 1;
+          stack.push_back(n);
+        }
+      }
+    }
+
+    // Boundary edges of the cavity, each with its outside neighbor.
+    struct BoundaryEdge {
+      int a, b;      // directed so the cavity interior is to the left
+      int outside;   // triangle index across the edge, or kNone
+    };
+    std::vector<BoundaryEdge> boundary;
+    for (int t : cavity) {
+      for (int e = 0; e < 3; ++e) {
+        const int n = tris[t].nbr[e];
+        if (n != kNone && inCavity[n]) continue;
+        boundary.push_back(
+            {tris[t].v[(e + 1) % 3], tris[t].v[(e + 2) % 3], n});
+      }
+    }
+    for (int t : cavity) tris[t].alive = false;
+
+    // Fan of new triangles from p to each boundary edge.
+    std::map<std::pair<int, int>, std::pair<int, int>> edgeOwner;  // (a,b)->(tri,edge)
+    std::vector<int> created;
+    created.reserve(boundary.size());
+    for (const BoundaryEdge& be : boundary) {
+      const int t = newTriangle(pi, be.a, be.b);
+      created.push_back(t);
+      tris[t].nbr[0] = be.outside;
+      if (be.outside != kNone) {
+        for (int e = 0; e < 3; ++e) {
+          const Tri& out = tris[be.outside];
+          if (out.v[(e + 1) % 3] == be.b && out.v[(e + 2) % 3] == be.a) {
+            tris[be.outside].nbr[e] = t;
+            break;
+          }
+        }
+      }
+      edgeOwner[{pi, be.a}] = {t, 2};  // edge (pi, a) opposite v[2]=b
+      edgeOwner[{be.b, pi}] = {t, 1};  // edge (b, pi) opposite v[1]=a
+    }
+    // Stitch fan triangles to each other across shared (pi, x) edges.
+    for (const auto& [edge, owner] : edgeOwner) {
+      const auto rev = edgeOwner.find({edge.second, edge.first});
+      if (rev != edgeOwner.end()) {
+        tris[owner.first].nbr[owner.second] = rev->second.first;
+      }
+    }
+    lastAlive = created.empty() ? kNone : created.back();
+  }
+};
+
+}  // namespace
+
+Delaunay Delaunay::build(const std::vector<Point2>& points) {
+  Delaunay result;
+  result.numInput_ = points.size();
+  result.duplicateOf_.resize(points.size());
+  std::iota(result.duplicateOf_.begin(), result.duplicateOf_.end(), 0);
+  result.adjacency_.assign(points.size(), {});
+
+  // Merge exact duplicates onto their first occurrence.
+  std::map<std::pair<double, double>, int> firstAt;
+  std::vector<int> uniqueIdx;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto key = std::make_pair(points[i].x, points[i].y);
+    const auto [it, inserted] = firstAt.emplace(key, static_cast<int>(i));
+    if (inserted) {
+      uniqueIdx.push_back(static_cast<int>(i));
+    } else {
+      result.duplicateOf_[i] = it->second;
+    }
+  }
+
+  if (uniqueIdx.size() < 2) return result;
+  if (uniqueIdx.size() == 2) {
+    result.realEdges_.emplace_back(std::min(uniqueIdx[0], uniqueIdx[1]),
+                                   std::max(uniqueIdx[0], uniqueIdx[1]));
+    result.adjacency_[uniqueIdx[0]].push_back(uniqueIdx[1]);
+    result.adjacency_[uniqueIdx[1]].push_back(uniqueIdx[0]);
+    return result;
+  }
+
+  Builder b;
+  b.pts = points;
+
+  // Bounding super-triangle far enough away to act as "infinity".
+  double minX = points[uniqueIdx[0]].x, maxX = minX;
+  double minY = points[uniqueIdx[0]].y, maxY = minY;
+  for (int i : uniqueIdx) {
+    minX = std::min(minX, points[i].x);
+    maxX = std::max(maxX, points[i].x);
+    minY = std::min(minY, points[i].y);
+    maxY = std::max(maxY, points[i].y);
+  }
+  const double cx = (minX + maxX) / 2.0;
+  const double cy = (minY + maxY) / 2.0;
+  const double extent = std::max({maxX - minX, maxY - minY, 1.0});
+  const double m = 1e6 * extent;
+  const int s0 = static_cast<int>(points.size());
+  b.pts.push_back({cx - 2.0 * m, cy - m});
+  b.pts.push_back({cx + 2.0 * m, cy - m});
+  b.pts.push_back({cx, cy + 2.0 * m});
+  const int seedTri = b.newTriangle(s0, s0 + 1, s0 + 2);
+  b.lastAlive = seedTri;
+
+  for (int i : uniqueIdx) b.insert(i);
+
+  // Extract real triangles and edges (those not touching super vertices).
+  std::set<std::pair<int, int>> edgeSet;
+  for (const Tri& t : b.tris) {
+    if (!t.alive) continue;
+    const bool real =
+        t.v[0] < s0 && t.v[1] < s0 && t.v[2] < s0;
+    if (real) result.realTriangles_.push_back(t.v);
+    for (int e = 0; e < 3; ++e) {
+      const int u = t.v[(e + 1) % 3];
+      const int v = t.v[(e + 2) % 3];
+      if (u < s0 && v < s0) {
+        edgeSet.emplace(std::min(u, v), std::max(u, v));
+      }
+    }
+  }
+  result.realEdges_.assign(edgeSet.begin(), edgeSet.end());
+  for (const auto& [u, v] : result.realEdges_) {
+    result.adjacency_[u].push_back(v);
+    result.adjacency_[v].push_back(u);
+  }
+  for (auto& adj : result.adjacency_) std::sort(adj.begin(), adj.end());
+  return result;
+}
+
+std::vector<int> Delaunay::neighborsOf(int v) const {
+  if (v < 0 || static_cast<std::size_t>(v) >= adjacency_.size()) {
+    throw std::out_of_range{"Delaunay::neighborsOf: bad vertex"};
+  }
+  return adjacency_[v];
+}
+
+bool Delaunay::hasEdge(int u, int v) const {
+  if (u < 0 || static_cast<std::size_t>(u) >= adjacency_.size()) return false;
+  const auto& adj = adjacency_[u];
+  return std::binary_search(adj.begin(), adj.end(), v);
+}
+
+std::vector<int> convexHull(const std::vector<Point2>& points) {
+  std::vector<int> idx(points.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(), [&](int a, int b) {
+    return points[a] < points[b];
+  });
+  idx.erase(std::unique(idx.begin(), idx.end(),
+                        [&](int a, int b) { return points[a] == points[b]; }),
+            idx.end());
+  const std::size_t n = idx.size();
+  if (n < 3) return idx;
+
+  std::vector<int> hull(2 * n);
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < n; ++i) {  // lower hull
+    while (k >= 2 && orient2d(points[hull[k - 2]], points[hull[k - 1]],
+                              points[idx[i]]) <= 0.0) {
+      --k;
+    }
+    hull[k++] = idx[i];
+  }
+  for (std::size_t i = n - 1, t = k + 1; i-- > 0;) {  // upper hull
+    while (k >= t && orient2d(points[hull[k - 2]], points[hull[k - 1]],
+                              points[idx[i]]) <= 0.0) {
+      --k;
+    }
+    hull[k++] = idx[i];
+  }
+  hull.resize(k - 1);
+  return hull;
+}
+
+}  // namespace glr::geom

@@ -1,0 +1,96 @@
+#include "geometry/expansion.hpp"
+
+namespace glr::geom::detail {
+
+Expansion exactProduct(double a, double b) {
+  double hi, lo;
+  twoProduct(a, b, hi, lo);
+  Expansion e;
+  if (lo != 0.0) e.push_back(lo);
+  if (hi != 0.0) e.push_back(hi);
+  return e;
+}
+
+Expansion exactDiff(double a, double b) {
+  double hi, lo;
+  twoDiff(a, b, hi, lo);
+  Expansion e;
+  if (lo != 0.0) e.push_back(lo);
+  if (hi != 0.0) e.push_back(hi);
+  return e;
+}
+
+Expansion growExpansion(const Expansion& e, double b) {
+  Expansion h;
+  h.reserve(e.size() + 1);
+  double q = b;
+  for (double comp : e) {
+    double hi, lo;
+    twoSum(q, comp, hi, lo);
+    q = hi;
+    if (lo != 0.0) h.push_back(lo);
+  }
+  if (q != 0.0 || h.empty()) h.push_back(q);
+  return h;
+}
+
+Expansion expansionSum(const Expansion& e, const Expansion& f) {
+  if (e.empty()) return f;
+  if (f.empty()) return e;
+  Expansion h = e;
+  for (double comp : f) h = growExpansion(h, comp);
+  return h;
+}
+
+Expansion scaleExpansion(const Expansion& e, double b) {
+  Expansion h;
+  if (e.empty() || b == 0.0) return h;
+  h.reserve(2 * e.size());
+  double q, smallq;
+  twoProduct(e[0], b, q, smallq);
+  if (smallq != 0.0) h.push_back(smallq);
+  for (std::size_t i = 1; i < e.size(); ++i) {
+    double thi, tlo;
+    twoProduct(e[i], b, thi, tlo);
+    double sum1, err1;
+    twoSum(q, tlo, sum1, err1);
+    if (err1 != 0.0) h.push_back(err1);
+    double sum2, err2;
+    twoSum(thi, sum1, sum2, err2);
+    q = sum2;
+    if (err2 != 0.0) h.push_back(err2);
+  }
+  if (q != 0.0 || h.empty()) h.push_back(q);
+  return h;
+}
+
+Expansion expansionProduct(const Expansion& e, const Expansion& f) {
+  Expansion result;
+  for (double comp : f) {
+    result = expansionSum(result, scaleExpansion(e, comp));
+  }
+  return result;
+}
+
+Expansion negate(Expansion e) {
+  for (double& comp : e) comp = -comp;
+  return e;
+}
+
+int expansionSign(const Expansion& e) {
+  // Components are stored smallest-magnitude first and non-overlapping, so
+  // the last non-zero component dominates the sign.
+  for (auto it = e.rbegin(); it != e.rend(); ++it) {
+    if (*it > 0.0) return 1;
+    if (*it < 0.0) return -1;
+  }
+  return 0;
+}
+
+double expansionEstimate(const Expansion& e) {
+  double sum = 0.0;
+  for (double comp : e) sum += comp;
+  return sum;
+}
+
+}  // namespace glr::geom::detail

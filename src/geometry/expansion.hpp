@@ -1,0 +1,93 @@
+#pragma once
+/// \file expansion.hpp
+/// Multi-term floating-point expansion arithmetic (Shewchuk).
+///
+/// An *expansion* is a sum of doubles, stored in order of increasing
+/// magnitude with non-overlapping bit ranges, that represents a real number
+/// exactly. Operations here (sum, scale, multiply) are exact; they are the
+/// slow path behind the filtered predicates in predicates.hpp and are also
+/// unit-tested directly.
+///
+/// This translation unit family must be compiled with floating-point
+/// contraction disabled (see the geometry CMake target), otherwise the
+/// two-term error computations are destroyed by fused multiply-adds.
+
+#include <vector>
+
+namespace glr::geom::detail {
+
+/// Exact sum: a + b == hi + lo with hi = fl(a + b).
+inline void twoSum(double a, double b, double& hi, double& lo) {
+  hi = a + b;
+  const double bv = hi - a;
+  const double av = hi - bv;
+  lo = (a - av) + (b - bv);
+}
+
+/// Exact difference: a - b == hi + lo with hi = fl(a - b).
+inline void twoDiff(double a, double b, double& hi, double& lo) {
+  hi = a - b;
+  const double bv = a - hi;
+  const double av = hi + bv;
+  lo = (a - av) + (bv - b);
+}
+
+/// Splits a double into two non-overlapping halves (Dekker).
+inline void split(double a, double& ahi, double& alo) {
+  constexpr double kSplitter = 134217729.0;  // 2^27 + 1
+  const double c = kSplitter * a;
+  ahi = c - (c - a);
+  alo = a - ahi;
+}
+
+/// Exact product: a * b == hi + lo with hi = fl(a * b).
+inline void twoProduct(double a, double b, double& hi, double& lo) {
+  hi = a * b;
+  double ahi, alo, bhi, blo;
+  split(a, ahi, alo);
+  split(b, bhi, blo);
+  const double err1 = hi - ahi * bhi;
+  const double err2 = err1 - alo * bhi;
+  const double err3 = err2 - ahi * blo;
+  lo = alo * blo - err3;
+}
+
+/// Exact arbitrary-precision value as a component vector (increasing
+/// magnitude, non-overlapping, zero components elided).
+using Expansion = std::vector<double>;
+
+/// Expansion representing the exact product a * b.
+[[nodiscard]] Expansion exactProduct(double a, double b);
+
+/// Expansion representing the exact difference a - b.
+[[nodiscard]] Expansion exactDiff(double a, double b);
+
+/// e + b (scalar) — Shewchuk GROW-EXPANSION with zero elimination.
+[[nodiscard]] Expansion growExpansion(const Expansion& e, double b);
+
+/// e + f — Shewchuk EXPANSION-SUM (adds f's components in order).
+[[nodiscard]] Expansion expansionSum(const Expansion& e, const Expansion& f);
+
+/// e * b (scalar) — Shewchuk SCALE-EXPANSION with zero elimination.
+[[nodiscard]] Expansion scaleExpansion(const Expansion& e, double b);
+
+/// e * f — distributes scaleExpansion over f's components.
+[[nodiscard]] Expansion expansionProduct(const Expansion& e,
+                                         const Expansion& f);
+
+/// -e.
+[[nodiscard]] Expansion negate(Expansion e);
+
+/// e - f.
+[[nodiscard]] inline Expansion expansionDiff(const Expansion& e,
+                                             const Expansion& f) {
+  return expansionSum(e, negate(f));
+}
+
+/// Exact sign of the represented value: -1, 0 or +1.
+[[nodiscard]] int expansionSign(const Expansion& e);
+
+/// Approximate double value (sum of components, smallest first).
+[[nodiscard]] double expansionEstimate(const Expansion& e);
+
+}  // namespace glr::geom::detail

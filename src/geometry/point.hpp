@@ -1,0 +1,80 @@
+#pragma once
+/// \file point.hpp
+/// 2-D point/vector primitives used throughout the library.
+
+#include <cmath>
+#include <compare>
+#include <iosfwd>
+
+namespace glr::geom {
+
+/// Cartesian point (also used as a vector) in metres.
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Point2 operator+(Point2 a, Point2 b) {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Point2 operator-(Point2 a, Point2 b) {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr Point2 operator*(Point2 a, double s) {
+    return {a.x * s, a.y * s};
+  }
+  friend constexpr Point2 operator*(double s, Point2 a) { return a * s; }
+  friend constexpr Point2 operator/(Point2 a, double s) {
+    return {a.x / s, a.y / s};
+  }
+  friend constexpr bool operator==(Point2 a, Point2 b) {
+    return a.x == b.x && a.y == b.y;
+  }
+  /// Lexicographic order (x then y); used for canonical sorts.
+  friend constexpr auto operator<=>(Point2 a, Point2 b) {
+    if (auto c = a.x <=> b.x; c != 0) return c;
+    return a.y <=> b.y;
+  }
+};
+
+/// Dot product.
+[[nodiscard]] constexpr double dot(Point2 a, Point2 b) {
+  return a.x * b.x + a.y * b.y;
+}
+
+/// Z-component of the 3-D cross product (signed parallelogram area).
+[[nodiscard]] constexpr double cross(Point2 a, Point2 b) {
+  return a.x * b.y - a.y * b.x;
+}
+
+/// Squared Euclidean distance (cheap; prefer in comparisons).
+[[nodiscard]] constexpr double dist2(Point2 a, Point2 b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Euclidean distance.
+[[nodiscard]] inline double dist(Point2 a, Point2 b) {
+  return std::sqrt(dist2(a, b));
+}
+
+/// Vector length.
+[[nodiscard]] inline double norm(Point2 a) {
+  return std::sqrt(a.x * a.x + a.y * a.y);
+}
+
+/// Unit vector in the direction of `a`; returns {0,0} for the zero vector.
+[[nodiscard]] inline Point2 normalized(Point2 a) {
+  const double n = norm(a);
+  if (n == 0.0) return {0.0, 0.0};
+  return a / n;
+}
+
+/// Angle of the vector `b - a` in (-pi, pi].
+[[nodiscard]] inline double angleOf(Point2 a, Point2 b) {
+  return std::atan2(b.y - a.y, b.x - a.x);
+}
+
+std::ostream& operator<<(std::ostream& os, Point2 p);
+
+}  // namespace glr::geom

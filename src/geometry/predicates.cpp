@@ -1,0 +1,166 @@
+#include "geometry/predicates.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "geometry/expansion.hpp"
+
+namespace glr::geom {
+
+std::ostream& operator<<(std::ostream& os, Point2 p) {
+  return os << '(' << p.x << ", " << p.y << ')';
+}
+
+namespace {
+
+using detail::exactDiff;
+using detail::exactProduct;
+using detail::Expansion;
+using detail::expansionDiff;
+using detail::expansionProduct;
+using detail::expansionSign;
+using detail::expansionSum;
+
+// Machine epsilon for the error bounds: 2^-53 (Shewchuk's convention).
+constexpr double kEps = 1.1102230246251565e-16;
+constexpr double kCcwErrBound = (3.0 + 16.0 * kEps) * kEps;
+constexpr double kIccErrBound = (10.0 + 96.0 * kEps) * kEps;
+
+/// Exact sign of | ax ay 1 ; bx by 1 ; cx cy 1 | via six exact products.
+int orient2dExactSign(Point2 a, Point2 b, Point2 c) {
+  Expansion det = exactProduct(a.x, b.y);
+  det = expansionSum(det, exactProduct(-a.x, c.y));
+  det = expansionSum(det, exactProduct(-a.y, b.x));
+  det = expansionSum(det, exactProduct(a.y, c.x));
+  det = expansionSum(det, exactProduct(b.x, c.y));
+  det = expansionSum(det, exactProduct(-b.y, c.x));
+  return expansionSign(det);
+}
+
+/// Exact incircle sign using exact difference expansions. All arithmetic
+/// below is on expansions, so the final sign is exact.
+int incircleExactSign(Point2 a, Point2 b, Point2 c, Point2 d) {
+  const Expansion adx = exactDiff(a.x, d.x);
+  const Expansion ady = exactDiff(a.y, d.y);
+  const Expansion bdx = exactDiff(b.x, d.x);
+  const Expansion bdy = exactDiff(b.y, d.y);
+  const Expansion cdx = exactDiff(c.x, d.x);
+  const Expansion cdy = exactDiff(c.y, d.y);
+
+  const Expansion bdxcdy = expansionProduct(bdx, cdy);
+  const Expansion cdxbdy = expansionProduct(cdx, bdy);
+  const Expansion cdxady = expansionProduct(cdx, ady);
+  const Expansion adxcdy = expansionProduct(adx, cdy);
+  const Expansion adxbdy = expansionProduct(adx, bdy);
+  const Expansion bdxady = expansionProduct(bdx, ady);
+
+  const Expansion alift = expansionSum(expansionProduct(adx, adx),
+                                       expansionProduct(ady, ady));
+  const Expansion blift = expansionSum(expansionProduct(bdx, bdx),
+                                       expansionProduct(bdy, bdy));
+  const Expansion clift = expansionSum(expansionProduct(cdx, cdx),
+                                       expansionProduct(cdy, cdy));
+
+  Expansion det =
+      expansionProduct(alift, expansionDiff(bdxcdy, cdxbdy));
+  det = expansionSum(det,
+                     expansionProduct(blift, expansionDiff(cdxady, adxcdy)));
+  det = expansionSum(det,
+                     expansionProduct(clift, expansionDiff(adxbdy, bdxady)));
+  return expansionSign(det);
+}
+
+}  // namespace
+
+double orient2d(Point2 a, Point2 b, Point2 c) {
+  const double detleft = (a.x - c.x) * (b.y - c.y);
+  const double detright = (a.y - c.y) * (b.x - c.x);
+  const double det = detleft - detright;
+
+  double detsum;
+  if (detleft > 0.0) {
+    if (detright <= 0.0) return det;
+    detsum = detleft + detright;
+  } else if (detleft < 0.0) {
+    if (detright >= 0.0) return det;
+    detsum = -detleft - detright;
+  } else {
+    return det;
+  }
+  const double errbound = kCcwErrBound * detsum;
+  if (det >= errbound || -det >= errbound) return det;
+  return static_cast<double>(orient2dExactSign(a, b, c));
+}
+
+double incircle(Point2 a, Point2 b, Point2 c, Point2 d) {
+  const double adx = a.x - d.x;
+  const double ady = a.y - d.y;
+  const double bdx = b.x - d.x;
+  const double bdy = b.y - d.y;
+  const double cdx = c.x - d.x;
+  const double cdy = c.y - d.y;
+
+  const double bdxcdy = bdx * cdy;
+  const double cdxbdy = cdx * bdy;
+  const double alift = adx * adx + ady * ady;
+  const double cdxady = cdx * ady;
+  const double adxcdy = adx * cdy;
+  const double blift = bdx * bdx + bdy * bdy;
+  const double adxbdy = adx * bdy;
+  const double bdxady = bdx * ady;
+  const double clift = cdx * cdx + cdy * cdy;
+
+  const double det = alift * (bdxcdy - cdxbdy) + blift * (cdxady - adxcdy) +
+                     clift * (adxbdy - bdxady);
+
+  const double permanent = (std::fabs(bdxcdy) + std::fabs(cdxbdy)) * alift +
+                           (std::fabs(cdxady) + std::fabs(adxcdy)) * blift +
+                           (std::fabs(adxbdy) + std::fabs(bdxady)) * clift;
+  const double errbound = kIccErrBound * permanent;
+  if (det > errbound || -det > errbound) return det;
+  return static_cast<double>(incircleExactSign(a, b, c, d));
+}
+
+bool onSegment(Point2 a, Point2 b, Point2 p) {
+  if (orient2d(a, b, p) != 0.0) return false;
+  return std::min(a.x, b.x) <= p.x && p.x <= std::max(a.x, b.x) &&
+         std::min(a.y, b.y) <= p.y && p.y <= std::max(a.y, b.y);
+}
+
+bool segmentsIntersect(Point2 a, Point2 b, Point2 c, Point2 d) {
+  const double d1 = orient2d(c, d, a);
+  const double d2 = orient2d(c, d, b);
+  const double d3 = orient2d(a, b, c);
+  const double d4 = orient2d(a, b, d);
+  if (((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+      ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))) {
+    return true;
+  }
+  if (d1 == 0 && onSegment(c, d, a)) return true;
+  if (d2 == 0 && onSegment(c, d, b)) return true;
+  if (d3 == 0 && onSegment(a, b, c)) return true;
+  if (d4 == 0 && onSegment(a, b, d)) return true;
+  return false;
+}
+
+bool segmentsCrossProperly(Point2 a, Point2 b, Point2 c, Point2 d) {
+  // Shared endpoints never count as a proper crossing.
+  if (a == c || a == d || b == c || b == d) return false;
+  const double d1 = orient2d(c, d, a);
+  const double d2 = orient2d(c, d, b);
+  const double d3 = orient2d(a, b, c);
+  const double d4 = orient2d(a, b, d);
+  if (((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+      ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))) {
+    return true;
+  }
+  // Collinear overlap or an endpoint interior to the other segment also
+  // violates planarity of a straight-line embedding.
+  if (d1 == 0 && onSegment(c, d, a)) return true;
+  if (d2 == 0 && onSegment(c, d, b)) return true;
+  if (d3 == 0 && onSegment(a, b, c)) return true;
+  if (d4 == 0 && onSegment(a, b, d)) return true;
+  return false;
+}
+
+}  // namespace glr::geom

@@ -1,0 +1,49 @@
+#pragma once
+/// \file predicates.hpp
+/// Robust geometric predicates.
+///
+/// `orient2d` and `incircle` are evaluated with a fast floating-point filter
+/// (Shewchuk-style error bounds). When the filter cannot certify the sign,
+/// the predicate is re-evaluated *exactly* using multi-term floating-point
+/// expansions, so results are correct even for degenerate (collinear /
+/// cocircular) inputs. Delaunay construction depends on this for
+/// termination and planarity guarantees.
+
+#include "geometry/point.hpp"
+
+namespace glr::geom {
+
+/// Sign of the area of triangle (a,b,c):
+///   > 0 if counter-clockwise, < 0 if clockwise, == 0 if collinear.
+/// Exact: never returns a wrong sign.
+[[nodiscard]] double orient2d(Point2 a, Point2 b, Point2 c);
+
+/// Sign of the incircle determinant for (a,b,c,d) where (a,b,c) is
+/// counter-clockwise: > 0 if d lies strictly inside the circumcircle of
+/// (a,b,c), < 0 if strictly outside, == 0 if cocircular. If (a,b,c) is
+/// clockwise the sign is flipped (standard determinant semantics). Exact.
+[[nodiscard]] double incircle(Point2 a, Point2 b, Point2 c, Point2 d);
+
+/// Convenience: true if c is strictly left of the directed line a->b.
+[[nodiscard]] inline bool leftOf(Point2 a, Point2 b, Point2 c) {
+  return orient2d(a, b, c) > 0.0;
+}
+
+/// Convenience: true if a, b, c are collinear (exact test).
+[[nodiscard]] inline bool collinear(Point2 a, Point2 b, Point2 c) {
+  return orient2d(a, b, c) == 0.0;
+}
+
+/// True if the *closed* segments [a,b] and [c,d] intersect.
+[[nodiscard]] bool segmentsIntersect(Point2 a, Point2 b, Point2 c, Point2 d);
+
+/// True if segments (a,b) and (c,d) have a *proper* crossing: they intersect
+/// at a single point interior to both. Shared endpoints do not count. Used by
+/// the planarity checker.
+[[nodiscard]] bool segmentsCrossProperly(Point2 a, Point2 b, Point2 c,
+                                         Point2 d);
+
+/// True if point p lies on the closed segment [a,b] (exact).
+[[nodiscard]] bool onSegment(Point2 a, Point2 b, Point2 p);
+
+}  // namespace glr::geom

@@ -1,0 +1,189 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "geometry/predicates.hpp"
+
+namespace glr::graph {
+
+void Graph::checkNode(int u) const {
+  if (u < 0 || static_cast<std::size_t>(u) >= adj_.size()) {
+    throw std::out_of_range{"Graph: node id out of range"};
+  }
+}
+
+void Graph::addEdge(int u, int v) {
+  checkNode(u);
+  checkNode(v);
+  if (u == v || hasEdge(u, v)) return;
+  adj_[u].push_back(v);
+  adj_[v].push_back(u);
+  ++numEdges_;
+}
+
+bool Graph::hasEdge(int u, int v) const {
+  checkNode(u);
+  checkNode(v);
+  const auto& a = adj_[u].size() <= adj_[v].size() ? adj_[u] : adj_[v];
+  const int target = adj_[u].size() <= adj_[v].size() ? v : u;
+  return std::find(a.begin(), a.end(), target) != a.end();
+}
+
+const std::vector<int>& Graph::neighbors(int u) const {
+  checkNode(u);
+  return adj_[u];
+}
+
+std::vector<std::pair<int, int>> Graph::edges() const {
+  std::vector<std::pair<int, int>> out;
+  out.reserve(numEdges_);
+  for (std::size_t u = 0; u < adj_.size(); ++u) {
+    for (int v : adj_[u]) {
+      if (static_cast<int>(u) < v) out.emplace_back(static_cast<int>(u), v);
+    }
+  }
+  return out;
+}
+
+std::vector<int> bfsHops(const Graph& g, int src) {
+  std::vector<int> hops(g.numNodes(), kUnreachable);
+  if (g.numNodes() == 0) return hops;
+  std::queue<int> q;
+  hops[src] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    for (int v : g.neighbors(u)) {
+      if (hops[v] == kUnreachable) {
+        hops[v] = hops[u] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return hops;
+}
+
+std::vector<double> dijkstra(const Graph& g,
+                             const std::vector<geom::Point2>& positions,
+                             int src) {
+  if (positions.size() != g.numNodes()) {
+    throw std::invalid_argument{"dijkstra: positions/nodes size mismatch"};
+  }
+  std::vector<double> distTo(g.numNodes(), kInfDist);
+  using Item = std::pair<double, int>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  distTo[src] = 0.0;
+  pq.emplace(0.0, src);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > distTo[u]) continue;
+    for (int v : g.neighbors(u)) {
+      const double nd = d + geom::dist(positions[u], positions[v]);
+      if (nd < distTo[v]) {
+        distTo[v] = nd;
+        pq.emplace(nd, v);
+      }
+    }
+  }
+  return distTo;
+}
+
+std::vector<int> connectedComponents(const Graph& g) {
+  std::vector<int> label(g.numNodes(), -1);
+  int next = 0;
+  for (std::size_t s = 0; s < g.numNodes(); ++s) {
+    if (label[s] != -1) continue;
+    label[s] = next;
+    std::queue<int> q;
+    q.push(static_cast<int>(s));
+    while (!q.empty()) {
+      const int u = q.front();
+      q.pop();
+      for (int v : g.neighbors(u)) {
+        if (label[v] == -1) {
+          label[v] = next;
+          q.push(v);
+        }
+      }
+    }
+    ++next;
+  }
+  return label;
+}
+
+std::size_t componentCount(const Graph& g) {
+  const auto labels = connectedComponents(g);
+  int maxLabel = -1;
+  for (int l : labels) maxLabel = std::max(maxLabel, l);
+  return static_cast<std::size_t>(maxLabel + 1);
+}
+
+bool isConnected(const Graph& g) {
+  return g.numNodes() <= 1 || componentCount(g) == 1;
+}
+
+bool isPlanarEmbedding(const Graph& g,
+                       const std::vector<geom::Point2>& positions) {
+  if (positions.size() != g.numNodes()) {
+    throw std::invalid_argument{
+        "isPlanarEmbedding: positions/nodes size mismatch"};
+  }
+  const auto es = g.edges();
+  for (std::size_t i = 0; i < es.size(); ++i) {
+    for (std::size_t j = i + 1; j < es.size(); ++j) {
+      const auto [a, b] = es[i];
+      const auto [c, d] = es[j];
+      if (geom::segmentsCrossProperly(positions[a], positions[b], positions[c],
+                                      positions[d])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+double stretchFactor(const Graph& g,
+                     const std::vector<geom::Point2>& positions) {
+  const std::size_t n = g.numNodes();
+  if (n < 2) return 1.0;
+  double worst = 1.0;
+  for (std::size_t s = 0; s < n; ++s) {
+    const auto d = dijkstra(g, positions, static_cast<int>(s));
+    for (std::size_t t = s + 1; t < n; ++t) {
+      const double euclid = geom::dist(positions[s], positions[t]);
+      if (euclid == 0.0) continue;
+      worst = std::max(worst, d[t] / euclid);
+    }
+  }
+  return worst;
+}
+
+DisjointSet::DisjointSet(std::size_t n)
+    : parent_(n), size_(n, 1), sets_(n) {
+  for (std::size_t i = 0; i < n; ++i) parent_[i] = static_cast<int>(i);
+}
+
+int DisjointSet::find(int x) {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool DisjointSet::unite(int x, int y) {
+  int rx = find(x);
+  int ry = find(y);
+  if (rx == ry) return false;
+  if (size_[rx] < size_[ry]) std::swap(rx, ry);
+  parent_[ry] = rx;
+  size_[rx] += size_[ry];
+  --sets_;
+  return true;
+}
+
+}  // namespace glr::graph

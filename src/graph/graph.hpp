@@ -1,0 +1,91 @@
+#pragma once
+/// \file graph.hpp
+/// Undirected graph on integer node ids with the algorithms the spanner and
+/// routing analyses need: BFS hop counts, Dijkstra over Euclidean weights,
+/// connected components, straight-line planarity checks and spanner stretch.
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "geometry/point.hpp"
+
+namespace glr::graph {
+
+/// Simple undirected graph; nodes are 0..n-1.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t numNodes) : adj_(numNodes) {}
+
+  [[nodiscard]] std::size_t numNodes() const { return adj_.size(); }
+  [[nodiscard]] std::size_t numEdges() const { return numEdges_; }
+
+  /// Adds the undirected edge {u, v}. Self loops and duplicates are ignored.
+  void addEdge(int u, int v);
+
+  [[nodiscard]] bool hasEdge(int u, int v) const;
+  [[nodiscard]] const std::vector<int>& neighbors(int u) const;
+  [[nodiscard]] std::size_t degree(int u) const { return neighbors(u).size(); }
+
+  /// All unique undirected edges with u < v.
+  [[nodiscard]] std::vector<std::pair<int, int>> edges() const;
+
+ private:
+  void checkNode(int u) const;
+
+  std::vector<std::vector<int>> adj_;
+  std::size_t numEdges_ = 0;
+};
+
+inline constexpr double kInfDist = std::numeric_limits<double>::infinity();
+inline constexpr int kUnreachable = -1;
+
+/// Hop distance from `src` to every node (-1 when unreachable).
+[[nodiscard]] std::vector<int> bfsHops(const Graph& g, int src);
+
+/// Euclidean-weighted shortest-path distances from `src` (edge weight =
+/// distance between endpoint positions). Unreachable nodes get +infinity.
+[[nodiscard]] std::vector<double> dijkstra(
+    const Graph& g, const std::vector<geom::Point2>& positions, int src);
+
+/// Component label per node (labels are 0-based and dense).
+[[nodiscard]] std::vector<int> connectedComponents(const Graph& g);
+
+/// Number of connected components (counting isolated nodes).
+[[nodiscard]] std::size_t componentCount(const Graph& g);
+
+/// True if all nodes are in one component (vacuously true for n <= 1).
+[[nodiscard]] bool isConnected(const Graph& g);
+
+/// True if the straight-line embedding given by `positions` has no two edges
+/// crossing properly (shared endpoints allowed). O(E^2) with exact
+/// predicates — intended for tests and analysis, not hot paths.
+[[nodiscard]] bool isPlanarEmbedding(const Graph& g,
+                                     const std::vector<geom::Point2>& positions);
+
+/// Measured stretch factor of `g` relative to the complete Euclidean graph:
+/// max over connected pairs of (graph distance / Euclidean distance).
+/// Returns 1.0 for graphs with < 2 nodes, +infinity if some UDG-connected
+/// pair is disconnected in `g` (callers should ensure same connectivity).
+[[nodiscard]] double stretchFactor(const Graph& g,
+                                   const std::vector<geom::Point2>& positions);
+
+/// Union-find over 0..n-1 with path halving and union by size.
+class DisjointSet {
+ public:
+  explicit DisjointSet(std::size_t n);
+
+  int find(int x);
+  /// Returns true if x and y were in different sets (i.e. a merge happened).
+  bool unite(int x, int y);
+  [[nodiscard]] std::size_t setCount() const { return sets_; }
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> size_;
+  std::size_t sets_;
+};
+
+}  // namespace glr::graph

@@ -1,0 +1,126 @@
+#include "mac/channel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "mac/mac.hpp"
+
+namespace glr::mac {
+
+namespace {
+/// Power ratio (linear) a signal must have over each interferer to survive
+/// a collision (capture effect); 10 == 10 dB.
+constexpr double kCaptureRatio = 10.0;
+/// How long finished transmissions are kept for interference accounting.
+constexpr double kHistoryKeep = 0.05;  // seconds; >> longest frame
+}  // namespace
+
+Channel::Channel(sim::Simulator& sim, const phy::PropagationModel& model,
+                 phy::RadioThresholds thresholds, double txPowerW,
+                 PositionFn positionOf)
+    : sim_(sim),
+      model_(model),
+      thresholds_(thresholds),
+      txPowerW_(txPowerW),
+      positionOf_(std::move(positionOf)) {
+  if (!positionOf_) {
+    throw std::invalid_argument{"Channel: positionOf callback required"};
+  }
+}
+
+void Channel::attach(Mac* mac) {
+  if (mac == nullptr) throw std::invalid_argument{"Channel::attach: null"};
+  const auto id = static_cast<std::size_t>(mac->id());
+  if (macs_.size() <= id) macs_.resize(id + 1, nullptr);
+  macs_[id] = mac;
+}
+
+double Channel::powerAt(const ActiveTx& tx, geom::Point2 rxPos) const {
+  return model_.rxPower(txPowerW_, geom::dist(tx.senderPos, rxPos));
+}
+
+void Channel::startTransmission(int sender, Frame frame, double duration) {
+  ActiveTx tx;
+  tx.sender = sender;
+  tx.frame = std::move(frame);
+  tx.start = sim_.now();
+  tx.end = sim_.now() + duration;
+  tx.senderPos = positionOf_(sender);
+  const std::uint64_t txId = nextTxId_++;
+  history_.push_back(std::move(tx));
+  ++stats_.framesSent;
+  stats_.airTimeSeconds += duration;
+  sim_.schedule(duration, [this, txId] { finishTransmission(txId); });
+}
+
+bool Channel::mediumBusy(int nodeId) const {
+  const auto id = static_cast<std::size_t>(nodeId);
+  if (id < macs_.size() && macs_[id] != nullptr &&
+      macs_[id]->transmittedDuring(sim_.now(), sim_.now())) {
+    return true;
+  }
+  const geom::Point2 pos = positionOf_(nodeId);
+  for (const ActiveTx& tx : history_) {
+    if (tx.end <= sim_.now() || tx.sender == nodeId) continue;
+    if (powerAt(tx, pos) >= thresholds_.csThresholdW) return true;
+  }
+  return false;
+}
+
+sim::SimTime Channel::nextIdleHint(int nodeId) const {
+  const geom::Point2 pos = positionOf_(nodeId);
+  sim::SimTime t = sim_.now();
+  for (const ActiveTx& tx : history_) {
+    if (tx.end <= sim_.now() || tx.sender == nodeId) continue;
+    if (powerAt(tx, pos) >= thresholds_.csThresholdW) t = std::max(t, tx.end);
+  }
+  return t;
+}
+
+void Channel::finishTransmission(std::uint64_t txId) {
+  if (txId < historyBaseId_) return;  // already pruned (should not happen)
+  const ActiveTx& tx = history_[txId - historyBaseId_];
+
+  for (std::size_t v = 0; v < macs_.size(); ++v) {
+    Mac* mac = macs_[v];
+    if (mac == nullptr || static_cast<int>(v) == tx.sender) continue;
+    const bool isBroadcast = tx.frame.dst == net::kBroadcast;
+    if (!isBroadcast && tx.frame.dst != static_cast<int>(v)) continue;
+
+    const geom::Point2 rxPos = positionOf_(static_cast<int>(v));
+    const double signal = powerAt(tx, rxPos);
+    if (signal < thresholds_.rxThresholdW) continue;  // out of range
+
+    if (mac->transmittedDuring(tx.start, tx.end)) {
+      ++stats_.rxWhileTx;
+      continue;
+    }
+
+    bool collided = false;
+    for (const ActiveTx& other : history_) {
+      if (other.sender == tx.sender || other.sender == static_cast<int>(v)) {
+        continue;
+      }
+      if (other.start >= tx.end || tx.start >= other.end) continue;
+      const double p = powerAt(other, rxPos);
+      if (p >= thresholds_.csThresholdW && p * kCaptureRatio > signal) {
+        collided = true;
+        break;
+      }
+    }
+    if (collided) {
+      ++stats_.collisions;
+      continue;
+    }
+    ++stats_.framesDelivered;
+    mac->onFrameReceived(tx.frame);
+  }
+
+  while (!history_.empty() &&
+         history_.front().end < sim_.now() - kHistoryKeep) {
+    history_.pop_front();
+    ++historyBaseId_;
+  }
+}
+
+}  // namespace glr::mac

@@ -1,0 +1,90 @@
+#pragma once
+/// \file channel.hpp
+/// Shared wireless medium: propagation, interference and frame delivery.
+///
+/// On transmission start the channel computes, per node, whether the frame
+/// is audible (>= carrier-sense threshold). At transmission end it decides
+/// reception per candidate receiver: in receive range, not transmitting
+/// itself, and not collided (an overlapping audible transmission from a
+/// different sender whose power exceeds signal/captureRatio). This is the
+/// standard simplified 802.11 PHY used by packet-level simulators; it keeps
+/// exactly the mechanisms the paper's results rest on — shared-medium
+/// contention, hidden terminals, collision loss.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "mac/frame.hpp"
+#include "phy/propagation.hpp"
+#include "sim/simulator.hpp"
+
+namespace glr::mac {
+
+class Mac;
+
+/// Channel-wide counters.
+struct ChannelStats {
+  std::uint64_t framesSent = 0;
+  std::uint64_t framesDelivered = 0;
+  std::uint64_t collisions = 0;        // receptions lost to interference
+  std::uint64_t rxWhileTx = 0;         // receptions lost: receiver was busy
+  double airTimeSeconds = 0.0;
+};
+
+class Channel {
+ public:
+  using PositionFn = std::function<geom::Point2(int nodeId)>;
+
+  Channel(sim::Simulator& sim, const phy::PropagationModel& model,
+          phy::RadioThresholds thresholds, double txPowerW,
+          PositionFn positionOf);
+
+  /// Registers a MAC endpoint; its id must be dense from 0.
+  void attach(Mac* mac);
+
+  /// Begins an on-air transmission of `frame` lasting `duration` seconds.
+  void startTransmission(int sender, Frame frame, double duration);
+
+  /// True if `nodeId` senses the medium busy right now (own transmission or
+  /// any active transmission heard above the carrier-sense threshold).
+  [[nodiscard]] bool mediumBusy(int nodeId) const;
+
+  /// Earliest time by which all currently heard transmissions end; equals
+  /// now() when the medium is already idle. Used by MACs to schedule
+  /// deferred attempts without callback plumbing.
+  [[nodiscard]] sim::SimTime nextIdleHint(int nodeId) const;
+
+  [[nodiscard]] const ChannelStats& stats() const { return stats_; }
+  [[nodiscard]] const phy::RadioThresholds& thresholds() const {
+    return thresholds_;
+  }
+
+ private:
+  struct ActiveTx {
+    int sender = -1;
+    Frame frame;
+    sim::SimTime start = 0;
+    sim::SimTime end = 0;
+    geom::Point2 senderPos;
+  };
+
+  void finishTransmission(std::uint64_t txId);
+  [[nodiscard]] double powerAt(const ActiveTx& tx, geom::Point2 rxPos) const;
+
+  sim::Simulator& sim_;
+  const phy::PropagationModel& model_;
+  phy::RadioThresholds thresholds_;
+  double txPowerW_;
+  PositionFn positionOf_;
+  std::vector<Mac*> macs_;
+
+  std::deque<ActiveTx> history_;  // active + recently ended, pruned lazily
+  std::uint64_t nextTxId_ = 0;
+  std::uint64_t historyBaseId_ = 0;
+  ChannelStats stats_;
+};
+
+}  // namespace glr::mac

@@ -1,0 +1,22 @@
+#pragma once
+/// \file frame.hpp
+/// MAC-level frame: what actually occupies the channel.
+
+#include <cstdint>
+
+#include "net/packet.hpp"
+
+namespace glr::mac {
+
+struct Frame {
+  enum class Type : std::uint8_t { kData, kAck };
+
+  Type type = Type::kData;
+  int src = -1;
+  int dst = net::kBroadcast;
+  std::uint64_t seq = 0;       // matches ACKs to the data frame they confirm
+  std::size_t bytes = 0;       // on-air bytes: MAC header + payload
+  net::Packet packet;          // upper-layer content (unused for ACKs)
+};
+
+}  // namespace glr::mac

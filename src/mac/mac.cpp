@@ -1,0 +1,201 @@
+#include "mac/mac.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace glr::mac {
+
+Mac::Mac(sim::Simulator& sim, Channel& channel, int self, MacParams params,
+         sim::Rng rng)
+    : sim_(sim), channel_(channel), self_(self), params_(params), rng_(rng) {
+  if (self < 0) throw std::invalid_argument{"Mac: negative node id"};
+  channel_.attach(this);
+}
+
+double Mac::frameDuration(std::size_t bytes) const {
+  return params_.phyOverhead +
+         static_cast<double>(bytes) * 8.0 / params_.bitRateBps;
+}
+
+int Mac::contentionWindow(int attempts) const {
+  long cw = params_.cwMin;
+  for (int i = 0; i < attempts; ++i) {
+    cw = std::min<long>(2 * (cw + 1) - 1, params_.cwMax);
+  }
+  return static_cast<int>(cw);
+}
+
+bool Mac::send(net::Packet packet, int dstMac) {
+  if (queue_.size() >= params_.queueLimit) {
+    ++stats_.queueDrops;
+    return false;
+  }
+  ++stats_.enqueued;
+  Outgoing out;
+  out.packet = std::move(packet);
+  out.dst = dstMac;
+  out.seq = nextSeq_++;
+  queue_.push_back(std::move(out));
+  scheduleAttempt();
+  return true;
+}
+
+void Mac::scheduleAttempt() {
+  if (attemptScheduled_ || transmitting_ || awaitingAck_ || queue_.empty()) {
+    return;
+  }
+  attemptScheduled_ = true;
+  attemptHandle_ = sim_.schedule(0.0, [this] { attempt(); });
+}
+
+void Mac::attempt() {
+  if (transmitting_ || awaitingAck_ || queue_.empty()) {
+    attemptScheduled_ = false;
+    return;
+  }
+  if (channel_.mediumBusy(self_)) {
+    // Defer until the heard transmissions end, plus sub-slot jitter so
+    // synchronized waiters don't re-collide deterministically.
+    const sim::SimTime idleAt =
+        std::max(channel_.nextIdleHint(self_), sim_.now());
+    attemptHandle_ = sim_.scheduleAt(
+        idleAt + rng_.uniform(0.0, params_.slotTime), [this] { attempt(); });
+    return;
+  }
+  const int cw = contentionWindow(queue_.front().attempts);
+  const double backoff =
+      static_cast<double>(rng_.below(static_cast<std::uint64_t>(cw) + 1)) *
+      params_.slotTime;
+  attemptHandle_ = sim_.schedule(params_.difs + backoff, [this] {
+    if (queue_.empty()) {
+      attemptScheduled_ = false;
+      return;
+    }
+    if (channel_.mediumBusy(self_)) {
+      attempt();  // medium got busy during backoff: defer again
+      return;
+    }
+    transmitHead();
+  });
+}
+
+void Mac::transmitHead() {
+  attemptScheduled_ = false;
+  Outgoing& out = queue_.front();
+  const bool broadcast = out.dst == net::kBroadcast;
+
+  Frame frame;
+  frame.type = Frame::Type::kData;
+  frame.src = self_;
+  frame.dst = out.dst;
+  frame.seq = out.seq;
+  frame.bytes = out.packet.bytes + params_.macHeaderBytes;
+  frame.packet = out.packet;
+
+  const double duration = frameDuration(frame.bytes);
+  transmitting_ = true;
+  lastTxStart_ = sim_.now();
+  lastTxEnd_ = sim_.now() + duration;
+  recentTx_.emplace_back(lastTxStart_, lastTxEnd_);
+  if (recentTx_.size() > 16) recentTx_.pop_front();
+  ++stats_.dataTx;
+  if (out.attempts > 0) ++stats_.retries;
+
+  channel_.startTransmission(self_, std::move(frame), duration);
+  sim_.schedule(duration, [this, broadcast] { onDataTxEnd(!broadcast); });
+}
+
+void Mac::onDataTxEnd(bool expectAck) {
+  transmitting_ = false;
+  if (!expectAck) {
+    finishHead(true);
+    return;
+  }
+  awaitingAck_ = true;
+  awaitedSeq_ = queue_.front().seq;
+  const double ackTimeout = params_.sifs + frameDuration(params_.ackBytes) +
+                            2.0 * params_.slotTime + 20e-6;
+  ackTimeoutHandle_ = sim_.schedule(ackTimeout, [this] { onAckTimeout(); });
+}
+
+void Mac::onAckTimeout() {
+  awaitingAck_ = false;
+  Outgoing& out = queue_.front();
+  ++out.attempts;
+  if (out.attempts > params_.retryLimit) {
+    ++stats_.retryDrops;
+    finishHead(false);
+    return;
+  }
+  scheduleAttempt();
+}
+
+void Mac::finishHead(bool success) {
+  Outgoing out = std::move(queue_.front());
+  queue_.pop_front();
+  if (onTxStatus_ && out.dst != net::kBroadcast) {
+    onTxStatus_(out.packet, out.dst, success);
+  }
+  scheduleAttempt();
+}
+
+void Mac::onFrameReceived(const Frame& frame) {
+  if (frame.type == Frame::Type::kAck) {
+    if (awaitingAck_ && frame.dst == self_ && frame.seq == awaitedSeq_) {
+      ++stats_.rxAck;
+      ackTimeoutHandle_.cancel();
+      awaitingAck_ = false;
+      finishHead(true);
+    }
+    return;
+  }
+
+  // DATA frame.
+  const bool unicastToMe = frame.dst == self_;
+  if (unicastToMe) {
+    // Reply with an ACK after SIFS (ACKs skip contention by design).
+    Frame ack;
+    ack.type = Frame::Type::kAck;
+    ack.src = self_;
+    ack.dst = frame.src;
+    ack.seq = frame.seq;
+    ack.bytes = params_.ackBytes;
+    const double ackDur = frameDuration(params_.ackBytes);
+    sim_.schedule(params_.sifs, [this, ack, ackDur] {
+      recentTx_.emplace_back(sim_.now(), sim_.now() + ackDur);
+      if (recentTx_.size() > 16) recentTx_.pop_front();
+      ++stats_.ackTx;
+      channel_.startTransmission(self_, ack, ackDur);
+    });
+  } else if (frame.dst != net::kBroadcast) {
+    return;  // unicast for someone else
+  }
+
+  // Suppress retry-duplicates: the sender repeats a frame when our ACK was
+  // lost; the upper layer must see the packet only once.
+  for (auto& [src, seq] : lastSeqFrom_) {
+    if (src == frame.src) {
+      if (seq == frame.seq && unicastToMe) {
+        ++stats_.duplicatesSuppressed;
+        return;
+      }
+      seq = frame.seq;
+      ++stats_.rxData;
+      if (onReceive_) onReceive_(frame.packet, frame.src);
+      return;
+    }
+  }
+  lastSeqFrom_.emplace_back(frame.src, frame.seq);
+  ++stats_.rxData;
+  if (onReceive_) onReceive_(frame.packet, frame.src);
+}
+
+bool Mac::transmittedDuring(sim::SimTime start, sim::SimTime end) const {
+  for (const auto& [s, e] : recentTx_) {
+    if (s <= end && start < e) return true;
+  }
+  return false;
+}
+
+}  // namespace glr::mac

@@ -1,0 +1,130 @@
+#pragma once
+/// \file mac.hpp
+/// Simplified IEEE 802.11 DCF MAC.
+///
+/// Models the mechanisms that shape the paper's results at packet
+/// granularity: carrier sensing with DIFS + binary-exponential backoff,
+/// drop-tail interface queue (the paper's "link layer queue length 150"),
+/// unicast DATA/ACK with a retry limit, and broadcast without ACK. Slot
+/// freezing is approximated by re-drawing the backoff when the medium turns
+/// busy — fairness differs slightly from real DCF but saturation behaviour
+/// (collision loss, delay growth under load) is preserved.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "mac/channel.hpp"
+#include "mac/frame.hpp"
+#include "net/packet.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace glr::mac {
+
+struct MacParams {
+  double slotTime = 20e-6;      // 802.11 DSSS slot
+  double sifs = 10e-6;
+  double difs = 50e-6;
+  double phyOverhead = 192e-6;  // PLCP preamble + header at 1 Mbps
+  int cwMin = 31;
+  int cwMax = 1023;
+  int retryLimit = 7;
+  std::size_t queueLimit = 150;  // paper Table 1
+  std::size_t macHeaderBytes = 28;
+  std::size_t ackBytes = 14;
+  double bitRateBps = 1e6;       // paper Table 1
+};
+
+/// Per-MAC counters.
+struct MacStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t queueDrops = 0;       // drop-tail losses
+  std::uint64_t dataTx = 0;           // DATA transmissions incl. retries
+  std::uint64_t ackTx = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t retryDrops = 0;       // unicast given up after retryLimit
+  std::uint64_t rxData = 0;
+  std::uint64_t rxAck = 0;
+  std::uint64_t duplicatesSuppressed = 0;
+};
+
+class Mac {
+ public:
+  /// (packet, srcMacId) for every successfully received DATA frame.
+  using ReceiveCallback = std::function<void(const net::Packet&, int)>;
+  /// (packet, dstMacId, success) after a unicast completes or is dropped.
+  using TxStatusCallback = std::function<void(const net::Packet&, int, bool)>;
+
+  Mac(sim::Simulator& sim, Channel& channel, int self, MacParams params,
+      sim::Rng rng);
+
+  Mac(const Mac&) = delete;
+  Mac& operator=(const Mac&) = delete;
+
+  [[nodiscard]] int id() const { return self_; }
+
+  void setReceiveCallback(ReceiveCallback cb) { onReceive_ = std::move(cb); }
+  void setTxStatusCallback(TxStatusCallback cb) { onTxStatus_ = std::move(cb); }
+
+  /// Queues `packet` for transmission to `dstMac` (net::kBroadcast for
+  /// broadcast). Returns false if the interface queue is full (drop-tail).
+  bool send(net::Packet packet, int dstMac);
+
+  [[nodiscard]] std::size_t queueLength() const { return queue_.size(); }
+  [[nodiscard]] const MacStats& stats() const { return stats_; }
+  [[nodiscard]] const MacParams& params() const { return params_; }
+
+  /// Channel-facing: frame arrived intact at this node.
+  void onFrameReceived(const Frame& frame);
+  /// Channel-facing: true if this MAC was transmitting during [start, end].
+  [[nodiscard]] bool transmittedDuring(sim::SimTime start,
+                                       sim::SimTime end) const;
+
+ private:
+  struct Outgoing {
+    net::Packet packet;
+    int dst = net::kBroadcast;
+    int attempts = 0;
+    std::uint64_t seq = 0;
+  };
+
+  void scheduleAttempt();
+  void attempt();
+  void transmitHead();
+  void onDataTxEnd(bool expectAck);
+  void onAckTimeout();
+  void finishHead(bool success);
+  [[nodiscard]] double frameDuration(std::size_t bytes) const;
+  [[nodiscard]] int contentionWindow(int attempts) const;
+
+  sim::Simulator& sim_;
+  Channel& channel_;
+  int self_;
+  MacParams params_;
+  sim::Rng rng_;
+
+  std::deque<Outgoing> queue_;
+  bool attemptScheduled_ = false;
+  bool transmitting_ = false;
+  bool awaitingAck_ = false;
+  std::uint64_t nextSeq_ = 1;
+  std::uint64_t awaitedSeq_ = 0;
+  sim::EventHandle attemptHandle_;
+  sim::EventHandle ackTimeoutHandle_;
+  sim::SimTime lastTxStart_ = -1.0;
+  sim::SimTime lastTxEnd_ = -1.0;
+  // Own recent transmissions (DATA + ACK), for rx-while-tx decisions.
+  std::deque<std::pair<sim::SimTime, sim::SimTime>> recentTx_;
+
+  // Duplicate detection: last sequence number seen per source.
+  std::vector<std::pair<int, std::uint64_t>> lastSeqFrom_;
+
+  ReceiveCallback onReceive_;
+  TxStatusCallback onTxStatus_;
+  MacStats stats_;
+};
+
+}  // namespace glr::mac

@@ -1,0 +1,113 @@
+#include "mobility/mobility.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace glr::mobility {
+
+geom::Point2 randomPosition(Area area, sim::Rng& rng) {
+  return {rng.uniform(0.0, area.width), rng.uniform(0.0, area.height)};
+}
+
+RandomWaypoint::RandomWaypoint(Area area, double speedMin, double speedMax,
+                               double pause, geom::Point2 start, sim::Rng rng)
+    : area_(area),
+      speedMin_(speedMin),
+      speedMax_(speedMax),
+      pause_(pause),
+      rng_(rng),
+      from_(start),
+      to_(start) {
+  if (area.width <= 0.0 || area.height <= 0.0) {
+    throw std::invalid_argument{"RandomWaypoint: area must be positive"};
+  }
+  if (speedMin <= 0.0 || speedMax < speedMin) {
+    throw std::invalid_argument{
+        "RandomWaypoint: need 0 < speedMin <= speedMax"};
+  }
+  if (pause < 0.0) {
+    throw std::invalid_argument{"RandomWaypoint: negative pause"};
+  }
+  pickNextLeg();
+}
+
+void RandomWaypoint::pickNextLeg() {
+  from_ = to_;
+  legStart_ = pauseEnd_;
+  to_ = randomPosition(area_, rng_);
+  const double speed = rng_.uniform(speedMin_, speedMax_);
+  const double d = geom::dist(from_, to_);
+  arrive_ = legStart_ + d / speed;
+  pauseEnd_ = arrive_ + pause_;
+}
+
+void RandomWaypoint::advanceTo(sim::SimTime t) {
+  while (t >= pauseEnd_) pickNextLeg();
+}
+
+geom::Point2 RandomWaypoint::positionAt(sim::SimTime t) {
+  if (t < lastQuery_) {
+    throw std::invalid_argument{
+        "RandomWaypoint::positionAt: time moved backwards"};
+  }
+  lastQuery_ = t;
+  advanceTo(t);
+  if (t <= legStart_) return from_;
+  if (t >= arrive_) return to_;  // pausing at destination
+  const double f = (t - legStart_) / (arrive_ - legStart_);
+  return from_ + (to_ - from_) * f;
+}
+
+RandomWalk::RandomWalk(Area area, double speedMin, double speedMax,
+                       double legDuration, geom::Point2 start, sim::Rng rng)
+    : area_(area),
+      speedMin_(speedMin),
+      speedMax_(speedMax),
+      legDuration_(legDuration),
+      rng_(rng),
+      pos_(start) {
+  if (area.width <= 0.0 || area.height <= 0.0) {
+    throw std::invalid_argument{"RandomWalk: area must be positive"};
+  }
+  if (speedMin <= 0.0 || speedMax < speedMin || legDuration <= 0.0) {
+    throw std::invalid_argument{"RandomWalk: bad speed/duration parameters"};
+  }
+  pickLeg();
+}
+
+void RandomWalk::pickLeg() {
+  const double heading = rng_.uniform(0.0, 2.0 * std::numbers::pi);
+  const double speed = rng_.uniform(speedMin_, speedMax_);
+  velocity_ = {speed * std::cos(heading), speed * std::sin(heading)};
+  legEnd_ = lastTime_ + legDuration_;
+}
+
+geom::Point2 RandomWalk::positionAt(sim::SimTime t) {
+  if (t < lastTime_) {
+    throw std::invalid_argument{
+        "RandomWalk::positionAt: time moved backwards"};
+  }
+  // Integrate in (possibly several) leg segments, reflecting at borders.
+  while (lastTime_ < t) {
+    const sim::SimTime step = std::min(t, legEnd_) - lastTime_;
+    pos_ = pos_ + velocity_ * step;
+    // Reflect off each border; velocities flip so headings stay coherent.
+    while (pos_.x < 0.0 || pos_.x > area_.width) {
+      if (pos_.x < 0.0) pos_.x = -pos_.x;
+      if (pos_.x > area_.width) pos_.x = 2.0 * area_.width - pos_.x;
+      velocity_.x = -velocity_.x;
+    }
+    while (pos_.y < 0.0 || pos_.y > area_.height) {
+      if (pos_.y < 0.0) pos_.y = -pos_.y;
+      if (pos_.y > area_.height) pos_.y = 2.0 * area_.height - pos_.y;
+      velocity_.y = -velocity_.y;
+    }
+    lastTime_ += step;
+    if (lastTime_ >= legEnd_) pickLeg();
+  }
+  return pos_;
+}
+
+}  // namespace glr::mobility

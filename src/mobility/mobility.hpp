@@ -1,0 +1,105 @@
+#pragma once
+/// \file mobility.hpp
+/// Node mobility models with analytic trajectories.
+///
+/// Positions are evaluated lazily at arbitrary (non-decreasing) times rather
+/// than stepped, so the event-driven simulator only pays for position
+/// queries it actually makes. The paper's evaluation uses the random
+/// waypoint model (uniform 0–20 m/s, pause 0) in a 1500 m x 300 m region.
+
+#include <memory>
+
+#include "geometry/point.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace glr::mobility {
+
+/// Rectangular deployment region [0,width] x [0,height].
+struct Area {
+  double width = 0.0;
+  double height = 0.0;
+};
+
+/// Interface: where is this node at time t? Calls must use non-decreasing t
+/// (the simulator clock), which lets implementations advance trajectory
+/// segments incrementally.
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+  [[nodiscard]] virtual geom::Point2 positionAt(sim::SimTime t) = 0;
+};
+
+/// A node that never moves.
+class StaticMobility final : public MobilityModel {
+ public:
+  explicit StaticMobility(geom::Point2 pos) : pos_(pos) {}
+  geom::Point2 positionAt(sim::SimTime) override { return pos_; }
+
+ private:
+  geom::Point2 pos_;
+};
+
+/// Random waypoint: pick a uniform point in the area, travel to it at a
+/// uniform speed in [speedMin, speedMax], pause, repeat.
+///
+/// speedMin must be > 0: the classical RWP pathology (speeds arbitrarily
+/// close to zero strand nodes for unbounded times) would otherwise make
+/// long simulations degenerate. The paper's "0–20 m/s uniform" is realized
+/// with a small positive floor.
+class RandomWaypoint final : public MobilityModel {
+ public:
+  RandomWaypoint(Area area, double speedMin, double speedMax, double pause,
+                 geom::Point2 start, sim::Rng rng);
+
+  geom::Point2 positionAt(sim::SimTime t) override;
+
+ private:
+  void advanceTo(sim::SimTime t);
+  void pickNextLeg();
+
+  Area area_;
+  double speedMin_;
+  double speedMax_;
+  double pause_;
+  sim::Rng rng_;
+
+  // Current leg: travel from from_ (departing at legStart_) to to_,
+  // arriving at arrive_, then pause until pauseEnd_.
+  geom::Point2 from_;
+  geom::Point2 to_;
+  sim::SimTime legStart_ = 0.0;
+  sim::SimTime arrive_ = 0.0;
+  sim::SimTime pauseEnd_ = 0.0;
+  sim::SimTime lastQuery_ = 0.0;
+};
+
+/// Random direction walk: pick a heading and a travel duration, bounce off
+/// area borders (reflection). Used as an alternative mobility pattern in
+/// extension experiments.
+class RandomWalk final : public MobilityModel {
+ public:
+  RandomWalk(Area area, double speedMin, double speedMax, double legDuration,
+             geom::Point2 start, sim::Rng rng);
+
+  geom::Point2 positionAt(sim::SimTime t) override;
+
+ private:
+  void pickLeg();
+
+  Area area_;
+  double speedMin_;
+  double speedMax_;
+  double legDuration_;
+  sim::Rng rng_;
+
+  geom::Point2 pos_;
+  geom::Point2 velocity_;
+  sim::SimTime legEnd_ = 0.0;
+  sim::SimTime lastTime_ = 0.0;
+};
+
+/// Uniformly random starting position inside `area`.
+[[nodiscard]] geom::Point2 randomPosition(Area area, sim::Rng& rng);
+
+}  // namespace glr::mobility

@@ -1,0 +1,130 @@
+#include "net/neighbor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace glr::net {
+
+NeighborService::NeighborService(sim::Simulator& sim, mac::Mac& mac, int self,
+                                 std::function<geom::Point2()> myPosition,
+                                 Params params, sim::Rng rng)
+    : sim_(sim),
+      mac_(mac),
+      self_(self),
+      myPosition_(std::move(myPosition)),
+      params_(params),
+      rng_(rng) {
+  if (!myPosition_) {
+    throw std::invalid_argument{"NeighborService: myPosition required"};
+  }
+  if (params_.helloInterval <= 0.0 || params_.expiry <= 0.0) {
+    throw std::invalid_argument{"NeighborService: bad interval/expiry"};
+  }
+}
+
+bool NeighborService::fresh(const NeighborRecord& r) const {
+  return sim_.now() - r.heard <= params_.expiry;
+}
+
+void NeighborService::start() {
+  // Desynchronize: first beacon at a uniform offset inside one interval.
+  sim_.schedule(rng_.uniform(0.0, params_.helloInterval),
+                [this] { sendHello(); });
+}
+
+void NeighborService::sendHello() {
+  HelloPayload hello;
+  hello.id = self_;
+  hello.pos = myPosition_();
+  hello.sentAt = sim_.now();
+  std::size_t bytes = params_.baseBytes;
+  if (params_.includeNeighborList) {
+    for (const auto& [id, rec] : table_) {
+      if (!fresh(rec)) continue;
+      hello.neighbors.push_back({id, rec.pos, rec.heard});
+      bytes += params_.perNeighborBytes;
+    }
+  }
+  Packet p;
+  p.bytes = bytes;
+  p.kind = kHelloKind;
+  p.payload = std::move(hello);
+  mac_.send(std::move(p), kBroadcast);
+  ++hellosSent_;
+
+  // Jittered periodic re-beacon (+/-10%) to avoid phase locking.
+  const double next =
+      params_.helloInterval * rng_.uniform(0.9, 1.1);
+  sim_.schedule(next, [this] { sendHello(); });
+}
+
+bool NeighborService::handlePacket(const Packet& packet, int /*fromMac*/) {
+  if (packet.kind != kHelloKind) return false;
+  const auto* hello = std::any_cast<HelloPayload>(&packet.payload);
+  if (hello == nullptr) return false;
+  ++hellosReceived_;
+
+  NeighborRecord& rec = table_[hello->id];
+  const bool wasFresh = fresh(rec);
+  rec.pos = hello->pos;
+  rec.heard = sim_.now();
+  rec.reported = hello->neighbors;
+
+  if (onLocationSample_) {
+    onLocationSample_(hello->id, hello->pos, hello->sentAt);
+    for (const auto& e : hello->neighbors) {
+      if (e.id != self_) onLocationSample_(e.id, e.pos, e.heardAt);
+    }
+  }
+  if (!wasFresh && onContact_) onContact_(hello->id);
+  return true;
+}
+
+std::vector<int> NeighborService::currentNeighbors() const {
+  std::vector<int> out;
+  for (const auto& [id, rec] : table_) {
+    if (fresh(rec)) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool NeighborService::isNeighbor(int id) const {
+  const auto it = table_.find(id);
+  return it != table_.end() && fresh(it->second);
+}
+
+std::optional<geom::Point2> NeighborService::neighborPosition(int id) const {
+  const auto it = table_.find(id);
+  if (it == table_.end() || !fresh(it->second)) return std::nullopt;
+  return it->second.pos;
+}
+
+std::vector<spanner::KnownNode> NeighborService::knowledge() const {
+  std::vector<spanner::KnownNode> out;
+  std::unordered_map<int, std::pair<std::size_t, sim::SimTime>> best;
+
+  for (const auto& [id, rec] : table_) {
+    if (!fresh(rec)) continue;
+    best[id] = {out.size(), rec.heard};
+    out.push_back({id, rec.pos, /*oneHop=*/true});
+  }
+  for (const auto& [id, rec] : table_) {
+    if (!fresh(rec)) continue;
+    for (const auto& e : rec.reported) {
+      if (e.id == self_) continue;
+      const auto it = best.find(e.id);
+      if (it == best.end()) {
+        best[e.id] = {out.size(), e.heardAt};
+        out.push_back({e.id, e.pos, /*oneHop=*/false});
+      } else if (!out[it->second.first].oneHop &&
+                 e.heardAt > it->second.second) {
+        out[it->second.first].pos = e.pos;  // fresher 2-hop observation
+        it->second.second = e.heardAt;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace glr::net

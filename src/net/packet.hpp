@@ -1,0 +1,28 @@
+#pragma once
+/// \file packet.hpp
+/// Network-layer packet passed between routing agents through the MAC.
+///
+/// This is a simulator, not a codec: payloads are in-memory protocol structs
+/// carried via std::any, while `bytes` models the on-air size (the MAC adds
+/// its own header/preamble time). Protocols must keep `bytes` honest — the
+/// contention results depend on it.
+
+#include <any>
+#include <cstddef>
+#include <string>
+
+namespace glr::net {
+
+/// MAC-level broadcast address.
+inline constexpr int kBroadcast = -1;
+
+struct Packet {
+  /// Simulated payload size in bytes (excluding MAC/PHY overhead).
+  std::size_t bytes = 0;
+  /// Debug/stats tag, e.g. "hello", "glr-data", "sv".
+  std::string kind;
+  /// Protocol-defined content; receivers any_cast to the expected type.
+  std::any payload;
+};
+
+}  // namespace glr::net

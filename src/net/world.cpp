@@ -1,0 +1,63 @@
+#include "net/world.hpp"
+
+#include <stdexcept>
+
+namespace glr::net {
+
+World::World(sim::Simulator& sim, const phy::PropagationModel& model,
+             const phy::RadioParams& radio, mac::MacParams macParams)
+    : sim_(sim),
+      macParams_(macParams),
+      channel_(sim, model, phy::solveThresholds(model, radio),
+               radio.txPowerW, [this](int id) { return positionOf(id); }) {
+  macParams_.bitRateBps = radio.bitRateBps;
+}
+
+int World::addNode(std::unique_ptr<mobility::MobilityModel> mobility,
+                   sim::Rng macRng) {
+  if (!mobility) throw std::invalid_argument{"World::addNode: null mobility"};
+  const int id = static_cast<int>(nodes_.size());
+  Node node;
+  node.mobility = std::move(mobility);
+  node.mac = std::make_unique<mac::Mac>(sim_, channel_, id, macParams_,
+                                        macRng);
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+void World::setAgent(int id, std::unique_ptr<Agent> agent) {
+  if (!agent) throw std::invalid_argument{"World::setAgent: null agent"};
+  Node& node = nodes_.at(static_cast<std::size_t>(id));
+  node.agent = std::move(agent);
+  Agent* raw = node.agent.get();
+  node.mac->setReceiveCallback(
+      [raw](const Packet& p, int from) { raw->onPacket(p, from); });
+  node.mac->setTxStatusCallback(
+      [raw](const Packet& p, int dst, bool ok) { raw->onTxStatus(p, dst, ok); });
+}
+
+geom::Point2 World::positionOf(int id) {
+  return nodes_.at(static_cast<std::size_t>(id))
+      .mobility->positionAt(sim_.now());
+}
+
+mac::Mac& World::macOf(int id) {
+  return *nodes_.at(static_cast<std::size_t>(id)).mac;
+}
+
+Agent& World::agentOf(int id) {
+  Node& node = nodes_.at(static_cast<std::size_t>(id));
+  if (!node.agent) throw std::logic_error{"World::agentOf: no agent set"};
+  return *node.agent;
+}
+
+void World::start() {
+  for (auto& node : nodes_) {
+    if (node.agent) {
+      Agent* raw = node.agent.get();
+      sim_.schedule(0.0, [raw] { raw->start(); });
+    }
+  }
+}
+
+}  // namespace glr::net

@@ -1,0 +1,75 @@
+#pragma once
+/// \file world.hpp
+/// Node container wiring mobility, MAC, channel and routing agents together.
+
+#include <memory>
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "mac/channel.hpp"
+#include "mac/mac.hpp"
+#include "mobility/mobility.hpp"
+#include "net/packet.hpp"
+#include "phy/propagation.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace glr::net {
+
+/// Routing-protocol interface. Agents live on a node, receive packets from
+/// the MAC and send through it.
+class Agent {
+ public:
+  virtual ~Agent() = default;
+  /// Called once at simulation start (t = 0).
+  virtual void start() = 0;
+  /// A DATA packet arrived for this node (unicast to it, or broadcast).
+  virtual void onPacket(const Packet& packet, int fromMac) = 0;
+  /// Outcome of a unicast this node sent (success == MAC-level ACK seen).
+  virtual void onTxStatus(const Packet& /*packet*/, int /*dstMac*/,
+                          bool /*success*/) {}
+};
+
+/// Owns the simulator-facing pieces of one scenario: the channel and all
+/// nodes (mobility + MAC + agent).
+class World {
+ public:
+  World(sim::Simulator& sim, const phy::PropagationModel& model,
+        const phy::RadioParams& radio, mac::MacParams macParams);
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Adds a node with the given mobility; returns its id (dense from 0).
+  int addNode(std::unique_ptr<mobility::MobilityModel> mobility,
+              sim::Rng macRng);
+
+  /// Installs the routing agent for `id` and wires MAC callbacks to it.
+  void setAgent(int id, std::unique_ptr<Agent> agent);
+
+  /// Current position of node `id` (advances its mobility model).
+  [[nodiscard]] geom::Point2 positionOf(int id);
+
+  [[nodiscard]] mac::Mac& macOf(int id);
+  [[nodiscard]] Agent& agentOf(int id);
+  [[nodiscard]] std::size_t numNodes() const { return nodes_.size(); }
+  [[nodiscard]] mac::Channel& channel() { return channel_; }
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+
+  /// Schedules every agent's start() at t = 0 (call before sim.run()).
+  void start();
+
+ private:
+  struct Node {
+    std::unique_ptr<mobility::MobilityModel> mobility;
+    std::unique_ptr<mac::Mac> mac;
+    std::unique_ptr<Agent> agent;
+  };
+
+  sim::Simulator& sim_;
+  mac::MacParams macParams_;
+  mac::Channel channel_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace glr::net

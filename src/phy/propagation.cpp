@@ -1,0 +1,52 @@
+#include "phy/propagation.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace glr::phy {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+}
+
+double TwoRayGround::crossoverDistance() const {
+  return 4.0 * kPi * p_.antennaHeightTx * p_.antennaHeightRx / p_.wavelength;
+}
+
+double TwoRayGround::rxPower(double txPowerW, double d) const {
+  if (d < 0.0) throw std::invalid_argument{"TwoRayGround: negative distance"};
+  if (d == 0.0) return txPowerW;
+  const double cross = crossoverDistance();
+  if (d <= cross) {
+    const double denom = 4.0 * kPi * d / p_.wavelength;
+    return txPowerW * p_.gainTx * p_.gainRx / (denom * denom * p_.systemLoss);
+  }
+  const double ht2 = p_.antennaHeightTx * p_.antennaHeightTx;
+  const double hr2 = p_.antennaHeightRx * p_.antennaHeightRx;
+  return txPowerW * p_.gainTx * p_.gainRx * ht2 * hr2 /
+         (d * d * d * d * p_.systemLoss);
+}
+
+double FreeSpace::rxPower(double txPowerW, double d) const {
+  if (d < 0.0) throw std::invalid_argument{"FreeSpace: negative distance"};
+  if (d == 0.0) return txPowerW;
+  const double denom = 4.0 * kPi * d / p_.wavelength;
+  return txPowerW * p_.gainTx * p_.gainRx / (denom * denom * p_.systemLoss);
+}
+
+RadioThresholds solveThresholds(const PropagationModel& model,
+                                const RadioParams& radio) {
+  if (radio.nominalRange <= 0.0 || radio.carrierSenseFactor < 1.0) {
+    throw std::invalid_argument{
+        "solveThresholds: need positive range and csFactor >= 1"};
+  }
+  RadioThresholds t;
+  t.rxRange = radio.nominalRange;
+  t.csRange = radio.nominalRange * radio.carrierSenseFactor;
+  t.rxThresholdW = model.rxPower(radio.txPowerW, t.rxRange);
+  t.csThresholdW = model.rxPower(radio.txPowerW, t.csRange);
+  return t;
+}
+
+}  // namespace glr::phy

@@ -1,0 +1,90 @@
+#pragma once
+/// \file propagation.hpp
+/// Radio propagation models and receiver thresholds.
+///
+/// The paper's ns-2 setup uses the Two Ray Ground model: free-space path
+/// loss below the crossover distance, ground-reflection (d^4) loss above it.
+/// We keep ns-2's default constants and *solve for the receive threshold*
+/// that yields a requested nominal range (ns-2 users do the same with the
+/// `threshold` utility), so scenarios can dial 50–250 m ranges exactly.
+
+#include <memory>
+
+namespace glr::phy {
+
+/// Interface: received signal power (Watts) at distance d (metres) from a
+/// transmitter with power txPowerW.
+class PropagationModel {
+ public:
+  virtual ~PropagationModel() = default;
+  [[nodiscard]] virtual double rxPower(double txPowerW, double d) const = 0;
+};
+
+/// ns-2 TwoRayGround: Friis below the crossover distance
+/// (4*pi*ht*hr/lambda), Pt*Gt*Gr*ht^2*hr^2 / (d^4*L) above it.
+class TwoRayGround final : public PropagationModel {
+ public:
+  struct Params {
+    double gainTx = 1.0;
+    double gainRx = 1.0;
+    double antennaHeightTx = 1.5;  // metres (ns-2 default)
+    double antennaHeightRx = 1.5;
+    double wavelength = 0.328227;  // 914 MHz WaveLAN (ns-2 default)
+    double systemLoss = 1.0;
+  };
+
+  TwoRayGround() = default;
+  explicit TwoRayGround(Params p) : p_(p) {}
+
+  [[nodiscard]] double rxPower(double txPowerW, double d) const override;
+
+  /// Distance where the free-space and two-ray formulas meet.
+  [[nodiscard]] double crossoverDistance() const;
+
+  [[nodiscard]] const Params& params() const { return p_; }
+
+ private:
+  Params p_;
+};
+
+/// Free-space (Friis) model, kept for ablations.
+class FreeSpace final : public PropagationModel {
+ public:
+  struct Params {
+    double gainTx = 1.0;
+    double gainRx = 1.0;
+    double wavelength = 0.328227;
+    double systemLoss = 1.0;
+  };
+
+  FreeSpace() = default;
+  explicit FreeSpace(Params p) : p_(p) {}
+
+  [[nodiscard]] double rxPower(double txPowerW, double d) const override;
+
+ private:
+  Params p_;
+};
+
+/// Radio configuration shared by all nodes in a scenario.
+struct RadioParams {
+  double txPowerW = 0.28183815;  // ns-2 default (250 m nominal with defaults)
+  double nominalRange = 250.0;   // metres; rxThreshold is solved from this
+  double carrierSenseFactor = 2.2;  // ns-2: 550 m CS range at 250 m RX range
+  double bitRateBps = 1e6;          // paper: 1 Mbps
+};
+
+/// Resolved thresholds for a (model, params) pair.
+struct RadioThresholds {
+  double rxThresholdW = 0.0;  // minimum power for successful reception
+  double csThresholdW = 0.0;  // minimum power to sense the medium busy
+  double rxRange = 0.0;       // metres (== RadioParams::nominalRange)
+  double csRange = 0.0;       // metres
+};
+
+/// Solves rx/cs power thresholds so that reception succeeds exactly within
+/// `nominalRange` and carrier sense extends to carrierSenseFactor x range.
+[[nodiscard]] RadioThresholds solveThresholds(const PropagationModel& model,
+                                              const RadioParams& radio);
+
+}  // namespace glr::phy

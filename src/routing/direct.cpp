@@ -1,0 +1,61 @@
+#include "routing/direct.hpp"
+
+namespace glr::routing {
+
+DirectDeliveryAgent::DirectDeliveryAgent(net::World& world, int self,
+                                         DirectParams params,
+                                         dtn::MetricsCollector* metrics,
+                                         sim::Rng rng)
+    : world_(world),
+      self_(self),
+      params_(params),
+      metrics_(metrics),
+      rng_(rng),
+      neighbors_(world.sim(), world.macOf(self), self,
+                 [this] { return myPos(); }, params.hello, rng.fork(1)),
+      buffer_(params.storageLimit) {}
+
+void DirectDeliveryAgent::start() {
+  neighbors_.start();
+  world_.sim().schedule(rng_.uniform(0.0, params_.checkInterval),
+                        [this] { check(); });
+}
+
+void DirectDeliveryAgent::originate(int dstNode) {
+  dtn::Message m;
+  m.id = {self_, nextSeq_++};
+  m.srcNode = self_;
+  m.dstNode = dstNode;
+  m.created = world_.sim().now();
+  m.payloadBytes = params_.payloadBytes;
+  if (metrics_ != nullptr) metrics_->onCreated(m.id, m.created);
+  buffer_.addToStore(std::move(m));
+}
+
+void DirectDeliveryAgent::check() {
+  for (const dtn::CopyKey& key : buffer_.storeKeys()) {
+    dtn::Message* m = buffer_.findInStore(key);
+    if (m == nullptr) continue;
+    if (!neighbors_.isNeighbor(m->dstNode)) continue;
+    net::Packet p;
+    p.kind = kDirectDataKind;
+    p.bytes = m->payloadBytes + params_.dataHeaderBytes;
+    p.payload = *m;
+    const int dst = m->dstNode;
+    buffer_.erase(key);
+    world_.macOf(self_).send(std::move(p), dst);
+  }
+  world_.sim().schedule(params_.checkInterval, [this] { check(); });
+}
+
+void DirectDeliveryAgent::onPacket(const net::Packet& packet, int fromMac) {
+  if (neighbors_.handlePacket(packet, fromMac)) return;
+  if (packet.kind != kDirectDataKind) return;
+  const auto* pm = std::any_cast<dtn::Message>(&packet.payload);
+  if (pm == nullptr || pm->dstNode != self_) return;
+  if (deliveredHere_.insert(pm->id).second && metrics_ != nullptr) {
+    metrics_->onDelivered(pm->id, world_.sim().now(), pm->hops + 1);
+  }
+}
+
+}  // namespace glr::routing

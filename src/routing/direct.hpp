@@ -1,0 +1,61 @@
+#pragma once
+/// \file direct.hpp
+/// Direct-delivery baseline: the source holds every message until it meets
+/// the destination itself (single copy, zero relay overhead). The classic
+/// lower bound on overhead / upper bound on delay among DTN strategies;
+/// used in extension benches.
+
+#include <unordered_set>
+
+#include "dtn/buffer.hpp"
+#include "dtn/message.hpp"
+#include "dtn/metrics.hpp"
+#include "net/neighbor.hpp"
+#include "net/world.hpp"
+#include "routing/dtn_agent.hpp"
+#include "sim/rng.hpp"
+
+namespace glr::routing {
+
+struct DirectParams {
+  std::size_t storageLimit = dtn::kUnlimitedStorage;
+  std::size_t payloadBytes = 1000;
+  std::size_t dataHeaderBytes = 28;
+  double checkInterval = 1.0;
+  net::NeighborService::Params hello;
+};
+
+inline constexpr const char* kDirectDataKind = "dd-data";
+
+class DirectDeliveryAgent final : public DtnAgent {
+ public:
+  DirectDeliveryAgent(net::World& world, int self, DirectParams params,
+                      dtn::MetricsCollector* metrics, sim::Rng rng);
+
+  void start() override;
+  void onPacket(const net::Packet& packet, int fromMac) override;
+  void originate(int dstNode) override;
+
+  [[nodiscard]] std::size_t storageUsed() const override {
+    return buffer_.size();
+  }
+  [[nodiscard]] std::size_t storagePeak() const override {
+    return buffer_.peakSize();
+  }
+
+ private:
+  void check();
+  [[nodiscard]] geom::Point2 myPos() { return world_.positionOf(self_); }
+
+  net::World& world_;
+  int self_;
+  DirectParams params_;
+  dtn::MetricsCollector* metrics_;
+  sim::Rng rng_;
+  net::NeighborService neighbors_;
+  dtn::MessageBuffer buffer_;
+  std::unordered_set<dtn::MessageId> deliveredHere_;
+  int nextSeq_ = 0;
+};
+
+}  // namespace glr::routing

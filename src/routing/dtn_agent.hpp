@@ -1,0 +1,24 @@
+#pragma once
+/// \file dtn_agent.hpp
+/// Common interface for DTN routing agents (GLR, epidemic, baselines), so
+/// the experiment harness can drive any protocol uniformly.
+
+#include <cstddef>
+
+#include "net/world.hpp"
+
+namespace glr::routing {
+
+class DtnAgent : public net::Agent {
+ public:
+  /// Creates and injects a new message destined to `dstNode`.
+  virtual void originate(int dstNode) = 0;
+
+  /// Current buffered message count (Store + Cache).
+  [[nodiscard]] virtual std::size_t storageUsed() const = 0;
+
+  /// High-water mark of buffered message count.
+  [[nodiscard]] virtual std::size_t storagePeak() const = 0;
+};
+
+}  // namespace glr::routing

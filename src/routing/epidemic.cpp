@@ -1,0 +1,154 @@
+#include "routing/epidemic.hpp"
+
+namespace glr::routing {
+
+EpidemicAgent::EpidemicAgent(net::World& world, int self,
+                             EpidemicParams params,
+                             dtn::MetricsCollector* metrics, sim::Rng rng)
+    : world_(world),
+      self_(self),
+      params_(params),
+      metrics_(metrics),
+      rng_(rng),
+      neighbors_(world.sim(), world.macOf(self), self,
+                 [this] { return myPos(); }, params.hello, rng.fork(1)),
+      buffer_(params.storageLimit) {
+  neighbors_.setContactCallback(
+      [this](int id) { sendSummary(id, /*full=*/true); });
+}
+
+void EpidemicAgent::start() {
+  neighbors_.start();
+  world_.sim().schedule(rng_.uniform(0.0, params_.exchangeCheckInterval),
+                        [this] { exchangeTick(); });
+}
+
+void EpidemicAgent::exchangeTick() {
+  // Delta re-offers to neighbors that have not seen our latest additions,
+  // rate-limited per pair (covers messages originated during a long-lived
+  // contact without flooding full summary vectors every second).
+  if (buffer_.size() > 0) {
+    for (const int j : neighbors_.currentNeighbors()) {
+      const auto it = offeredUpTo_.find(j);
+      if (it != offeredUpTo_.end() && it->second >= addSeq_) continue;
+      const auto at = lastOfferAt_.find(j);
+      if (at != lastOfferAt_.end() &&
+          world_.sim().now() - at->second < params_.svMinInterval) {
+        continue;
+      }
+      sendSummary(j, /*full=*/false);
+    }
+  }
+  world_.sim().schedule(params_.exchangeCheckInterval,
+                        [this] { exchangeTick(); });
+}
+
+void EpidemicAgent::sendSummary(int to, bool full) {
+  const std::uint64_t watermark = full ? 0 : offeredUpTo_[to];
+  SummaryVector sv;
+  for (const auto& [seq, id] : additions_) {
+    if (seq > watermark && buffer_.containsAnyBranch(id)) {
+      sv.ids.push_back(id);
+    }
+  }
+  offeredUpTo_[to] = addSeq_;
+  lastOfferAt_[to] = world_.sim().now();
+  if (sv.ids.empty()) return;
+
+  net::Packet p;
+  p.kind = kEpSvKind;
+  p.bytes = params_.svHeaderBytes + params_.svEntryBytes * sv.ids.size();
+  p.payload = std::move(sv);
+  world_.macOf(self_).send(std::move(p), to);
+  ++counters_.summariesSent;
+}
+
+void EpidemicAgent::originate(int dstNode) {
+  dtn::Message m;
+  m.id = {self_, nextSeq_++};
+  m.srcNode = self_;
+  m.dstNode = dstNode;
+  m.created = world_.sim().now();
+  m.payloadBytes = params_.payloadBytes;
+  if (metrics_ != nullptr) metrics_->onCreated(m.id, m.created);
+  addMessage(std::move(m));
+}
+
+void EpidemicAgent::addMessage(dtn::Message m) {
+  const dtn::MessageId id = m.id;
+  if (buffer_.addToStore(std::move(m))) {
+    additions_.emplace_back(++addSeq_, id);
+  }
+}
+
+void EpidemicAgent::onPacket(const net::Packet& packet, int fromMac) {
+  if (neighbors_.handlePacket(packet, fromMac)) return;
+
+  if (packet.kind == kEpSvKind) {
+    const auto* sv = std::any_cast<SummaryVector>(&packet.payload);
+    if (sv == nullptr) return;
+    RequestVector req;
+    for (const dtn::MessageId& id : sv->ids) {
+      if (buffer_.containsAnyBranch(id) || deliveredHere_.contains(id)) {
+        continue;
+      }
+      // One outstanding request per id: dense networks offer the same
+      // message from many neighbors within milliseconds.
+      const auto it = requestedAt_.find(id);
+      if (it != requestedAt_.end() &&
+          world_.sim().now() - it->second < params_.requestWindow) {
+        continue;
+      }
+      requestedAt_[id] = world_.sim().now();
+      req.ids.push_back(id);
+    }
+    if (req.ids.empty()) return;
+    net::Packet p;
+    p.kind = kEpReqKind;
+    p.bytes = params_.svHeaderBytes + params_.svEntryBytes * req.ids.size();
+    p.payload = std::move(req);
+    world_.macOf(self_).send(std::move(p), fromMac);
+    ++counters_.requestsSent;
+    return;
+  }
+
+  if (packet.kind == kEpReqKind) {
+    const auto* req = std::any_cast<RequestVector>(&packet.payload);
+    if (req == nullptr) return;
+    for (const dtn::MessageId& id : req->ids) {
+      dtn::Message* m = buffer_.findInStore({id, dtn::TreeFlag::kNone});
+      if (m == nullptr) continue;  // dropped since the summary was sent
+      net::Packet p;
+      p.kind = kEpDataKind;
+      p.bytes = m->payloadBytes + params_.dataHeaderBytes;
+      p.payload = *m;
+      world_.macOf(self_).send(std::move(p), fromMac);
+      ++counters_.dataSent;
+    }
+    return;
+  }
+
+  if (packet.kind == kEpDataKind) {
+    const auto* pm = std::any_cast<dtn::Message>(&packet.payload);
+    if (pm == nullptr) return;
+    dtn::Message m = *pm;
+    m.hops += 1;
+    ++counters_.dataReceived;
+    if (buffer_.containsAnyBranch(m.id) || deliveredHere_.contains(m.id)) {
+      ++counters_.duplicatesDropped;
+      return;
+    }
+    if (m.dstNode == self_) {
+      deliveredHere_.insert(m.id);
+      ++counters_.deliveredHere;
+      if (metrics_ != nullptr) {
+        metrics_->onDelivered(m.id, world_.sim().now(), m.hops);
+      }
+      // The destination keeps the message buffered (epidemic never clears),
+      // which also stops neighbors from re-sending it here.
+    }
+    addMessage(std::move(m));
+  }
+}
+
+}  // namespace glr::routing

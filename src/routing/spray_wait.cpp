@@ -1,0 +1,126 @@
+#include "routing/spray_wait.hpp"
+
+namespace glr::routing {
+
+SprayWaitAgent::SprayWaitAgent(net::World& world, int self,
+                               SprayWaitParams params,
+                               dtn::MetricsCollector* metrics, sim::Rng rng)
+    : world_(world),
+      self_(self),
+      params_(params),
+      metrics_(metrics),
+      rng_(rng),
+      neighbors_(world.sim(), world.macOf(self), self,
+                 [this] { return myPos(); }, params.hello, rng.fork(1)),
+      buffer_(params.storageLimit) {
+  neighbors_.setContactCallback([this](int id) { onContact(id); });
+}
+
+void SprayWaitAgent::start() { neighbors_.start(); }
+
+void SprayWaitAgent::originate(int dstNode) {
+  dtn::Message m;
+  m.id = {self_, nextSeq_++};
+  m.srcNode = self_;
+  m.dstNode = dstNode;
+  m.created = world_.sim().now();
+  m.payloadBytes = params_.payloadBytes;
+  if (metrics_ != nullptr) metrics_->onCreated(m.id, m.created);
+  budget_[m.id] = params_.copyBudget;
+  buffer_.addToStore(std::move(m));
+  // Offer immediately to whoever is already around (a fresh message would
+  // otherwise wait for the next contact event).
+  for (const int j : neighbors_.currentNeighbors()) onContact(j);
+}
+
+void SprayWaitAgent::onContact(int id) {
+  // Offer ids we can spray (budget > 1) or that the contact itself wants
+  // (it is their destination).
+  SummaryVector sv;
+  for (const dtn::CopyKey& key : buffer_.storeKeys()) {
+    const dtn::Message* m = buffer_.findInStore(key);
+    if (m == nullptr) continue;
+    const int b = budget_[key.id];
+    if (b > 1 || m->dstNode == id) sv.ids.push_back(key.id);
+  }
+  if (sv.ids.empty()) return;
+  net::Packet p;
+  p.kind = kSwSvKind;
+  p.bytes = params_.svHeaderBytes + params_.svEntryBytes * sv.ids.size();
+  p.payload = std::move(sv);
+  world_.macOf(self_).send(std::move(p), id);
+}
+
+void SprayWaitAgent::onPacket(const net::Packet& packet, int fromMac) {
+  if (neighbors_.handlePacket(packet, fromMac)) return;
+
+  if (packet.kind == kSwSvKind) {
+    const auto* sv = std::any_cast<SummaryVector>(&packet.payload);
+    if (sv == nullptr) return;
+    RequestVector req;
+    for (const dtn::MessageId& id : sv->ids) {
+      if (!buffer_.containsAnyBranch(id) && !deliveredHere_.contains(id)) {
+        req.ids.push_back(id);
+      }
+    }
+    if (req.ids.empty()) return;
+    net::Packet p;
+    p.kind = kSwReqKind;
+    p.bytes = params_.svHeaderBytes + params_.svEntryBytes * req.ids.size();
+    p.payload = std::move(req);
+    world_.macOf(self_).send(std::move(p), fromMac);
+    return;
+  }
+
+  if (packet.kind == kSwReqKind) {
+    const auto* req = std::any_cast<RequestVector>(&packet.payload);
+    if (req == nullptr) return;
+    for (const dtn::MessageId& id : req->ids) {
+      dtn::Message* m = buffer_.findInStore({id, dtn::TreeFlag::kNone});
+      if (m == nullptr) continue;
+      int& b = budget_[id];
+      const bool toDestination = m->dstNode == fromMac;
+      if (b <= 1 && !toDestination) continue;  // wait phase: destination only
+      SprayData out;
+      out.message = *m;
+      out.budget = toDestination ? 1 : b - b / 2;  // hand over half (binary)
+      net::Packet p;
+      p.kind = kSwDataKind;
+      p.bytes = m->payloadBytes + params_.dataHeaderBytes;
+      p.payload = out;
+      world_.macOf(self_).send(std::move(p), fromMac);
+      if (toDestination) {
+        buffer_.erase({id, dtn::TreeFlag::kNone});
+        budget_.erase(id);
+      } else {
+        b -= out.budget;
+      }
+    }
+    return;
+  }
+
+  if (packet.kind == kSwDataKind) {
+    const auto* sd = std::any_cast<SprayData>(&packet.payload);
+    if (sd == nullptr) return;
+    dtn::Message m = sd->message;
+    m.hops += 1;
+    if (m.dstNode == self_) {
+      if (deliveredHere_.insert(m.id).second && metrics_ != nullptr) {
+        metrics_->onDelivered(m.id, world_.sim().now(), m.hops);
+      }
+      return;
+    }
+    if (buffer_.containsAnyBranch(m.id)) return;
+    const int budget = sd->budget;
+    const int dst = m.dstNode;
+    budget_[m.id] = budget;
+    buffer_.addToStore(std::move(m));
+    if (budget > 1 || neighbors_.isNeighbor(dst)) {
+      for (const int j : neighbors_.currentNeighbors()) {
+        if (j != fromMac) onContact(j);
+      }
+    }
+  }
+}
+
+}  // namespace glr::routing

@@ -1,0 +1,18 @@
+#include "sim/rng.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace glr::sim {
+
+double Rng::exponential(double mean) {
+  if (!(mean > 0.0)) {
+    throw std::invalid_argument{"Rng::exponential: mean must be > 0"};
+  }
+  // Avoid log(0) by mapping the zero draw to the smallest positive ULP.
+  double u = uniform01();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+}  // namespace glr::sim

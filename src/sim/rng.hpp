@@ -1,0 +1,106 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic random number generation for simulations.
+///
+/// Every simulation run must be a pure function of (configuration, seed), so
+/// we use a counter-based splitting scheme: a master seed is expanded by
+/// SplitMix64 into independent xoshiro256** streams, one per subsystem
+/// (placement, mobility, traffic, MAC jitter, ...). Perturbing one subsystem
+/// therefore never changes the random draws seen by another.
+
+#include <cstdint>
+#include <limits>
+
+namespace glr::sim {
+
+/// SplitMix64: used to expand seeds into full 256-bit xoshiro state.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator with convenience distributions.
+///
+/// Satisfies the C++ UniformRandomBitGenerator requirements, so it can also
+/// be plugged into `<random>` distributions if ever needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words via SplitMix64 from `seed`.
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  /// Derives an independent stream: deterministic in (this stream's seed
+  /// material, streamId) but decorrelated from this stream's future output.
+  [[nodiscard]] Rng fork(std::uint64_t streamId) const {
+    std::uint64_t sm = s_[0] ^ (0x9e3779b97f4a7c15ULL * (streamId + 1));
+    sm ^= s_[2];
+    return Rng{splitmix64(sm)};
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Uniform integer in [0, n). n must be > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  [[nodiscard]] std::uint64_t below(std::uint64_t n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  [[nodiscard]] double exponential(double mean);
+
+  /// True with probability p (clamped to [0,1]).
+  [[nodiscard]] bool bernoulli(double p) { return uniform01() < p; }
+
+ private:
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace glr::sim

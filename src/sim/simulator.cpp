@@ -1,0 +1,71 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace glr::sim {
+
+EventHandle Simulator::scheduleAt(SimTime t, Callback fn) {
+  if (t < now_) {
+    throw std::invalid_argument{"Simulator::scheduleAt: time is in the past"};
+  }
+  if (!fn) {
+    throw std::invalid_argument{"Simulator::scheduleAt: empty callback"};
+  }
+  Event ev;
+  ev.time = t;
+  ev.seq = nextSeq_++;
+  ev.fn = std::move(fn);
+  ev.alive = std::make_shared<bool>(true);
+  EventHandle handle{std::weak_ptr<bool>{ev.alive}};
+  queue_.push(std::move(ev));
+  return handle;
+}
+
+void Simulator::skipCancelled() {
+  while (!queue_.empty() && !*queue_.top().alive) queue_.pop();
+}
+
+bool Simulator::hasPending() {
+  skipCancelled();
+  return !queue_.empty();
+}
+
+std::uint64_t Simulator::run(SimTime until) {
+  stopped_ = false;
+  std::uint64_t ran = 0;
+  for (;;) {
+    skipCancelled();
+    if (queue_.empty() || stopped_) break;
+    if (queue_.top().time > until) break;
+    // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+    // so copy the small fields and move the callback by re-wrapping.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    *ev.alive = false;  // mark fired so late cancel() calls are no-ops
+    ev.fn();
+    ++ran;
+    ++executed_;
+  }
+  if (queue_.empty() && now_ < until && until < kForever) now_ = until;
+  return ran;
+}
+
+std::uint64_t Simulator::step(std::uint64_t n) {
+  std::uint64_t ran = 0;
+  while (ran < n) {
+    skipCancelled();
+    if (queue_.empty()) break;
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    *ev.alive = false;
+    ev.fn();
+    ++ran;
+    ++executed_;
+  }
+  return ran;
+}
+
+}  // namespace glr::sim

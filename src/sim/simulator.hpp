@@ -1,0 +1,108 @@
+#pragma once
+/// \file simulator.hpp
+/// Discrete-event simulation kernel.
+///
+/// A `Simulator` owns a time-ordered event queue. Events are arbitrary
+/// callbacks scheduled at absolute or relative times; ties are broken by
+/// insertion order so runs are fully deterministic. Scheduled events can be
+/// cancelled through the returned `EventHandle` (used heavily by MAC timers
+/// and DTN cache timeouts).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace glr::sim {
+
+/// Simulation time in seconds.
+using SimTime = double;
+
+/// Cancellation token for a scheduled event. Default-constructed handles are
+/// inert; `cancel()` on an already-fired event is a no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Prevents the event from firing. Safe to call repeatedly.
+  void cancel() {
+    if (auto p = alive_.lock()) *p = false;
+  }
+
+  /// True if the event is still scheduled and will fire.
+  [[nodiscard]] bool pending() const {
+    auto p = alive_.lock();
+    return p && *p;
+  }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::weak_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::weak_ptr<bool> alive_;
+};
+
+/// Deterministic discrete-event scheduler.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulation time (seconds).
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `t` (>= now). Returns a handle
+  /// that can cancel the event.
+  EventHandle scheduleAt(SimTime t, Callback fn);
+
+  /// Schedules `fn` to run `delay` seconds from now (delay >= 0).
+  EventHandle schedule(SimTime delay, Callback fn) {
+    return scheduleAt(now_ + delay, std::move(fn));
+  }
+
+  /// Runs events in time order until the queue is empty, `until` is reached,
+  /// or `stop()` is called. Events scheduled exactly at `until` do fire.
+  /// Returns the number of events executed by this call.
+  std::uint64_t run(SimTime until = kForever);
+
+  /// Executes at most `n` events (ignoring cancelled ones); used in tests.
+  std::uint64_t step(std::uint64_t n = 1);
+
+  /// Requests `run()` to return after the current event completes.
+  void stop() { stopped_ = true; }
+
+  /// Total events executed over the simulator's lifetime.
+  [[nodiscard]] std::uint64_t eventsExecuted() const { return executed_; }
+
+  /// Events currently queued (including cancelled-but-not-popped ones).
+  [[nodiscard]] std::size_t queueSize() const { return queue_.size(); }
+
+  /// Whether there is at least one non-cancelled event pending.
+  [[nodiscard]] bool hasPending();
+
+  static constexpr SimTime kForever = 1e300;
+
+ private:
+  struct Event {
+    SimTime time = 0;
+    std::uint64_t seq = 0;
+    Callback fn;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Discards cancelled events at the head of the queue.
+  void skipCancelled();
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t nextSeq_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace glr::sim

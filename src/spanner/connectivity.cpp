@@ -1,0 +1,31 @@
+#include "spanner/connectivity.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace glr::spanner {
+
+double connectivityThresholdRadius(std::size_t n, double s, double width,
+                                   double height) {
+  if (n < 2) return 0.0;
+  if (s <= 1.0) {
+    throw std::invalid_argument{
+        "connectivityThresholdRadius: s must be > 1 (probability 1 - 1/s)"};
+  }
+  if (width <= 0.0 || height <= 0.0) {
+    throw std::invalid_argument{
+        "connectivityThresholdRadius: area dimensions must be positive"};
+  }
+  const double nd = static_cast<double>(n);
+  const double unit =
+      std::sqrt((std::log(nd) + std::log(s)) / (nd * std::numbers::pi));
+  return unit * std::sqrt(width * height);
+}
+
+bool isLikelyConnected(std::size_t n, double radius, double width,
+                       double height, double s) {
+  return radius >= connectivityThresholdRadius(n, s, width, height);
+}
+
+}  // namespace glr::spanner

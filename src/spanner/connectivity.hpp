@@ -1,0 +1,27 @@
+#pragma once
+/// \file connectivity.hpp
+/// Connectivity-probability threshold from Georgiou et al. (used by the
+/// paper's Algorithm 1 to decide single- vs multi-copy routing).
+///
+/// For n nodes uniformly placed in the unit square, the random geometric
+/// graph G(P, r_n) is connected with probability at least 1 - 1/s whenever
+///   r_n >= sqrt((ln n + ln s) / (n * pi)).
+/// We scale the unit-square threshold by sqrt(area) for a W x H deployment.
+
+#include <cstddef>
+
+namespace glr::spanner {
+
+/// Radius above which a uniformly deployed n-node network in a W x H region
+/// is connected with probability >= 1 - 1/s.
+[[nodiscard]] double connectivityThresholdRadius(std::size_t n, double s,
+                                                 double width, double height);
+
+/// Algorithm 1's sparsity test: true when the communication `radius` meets
+/// the Georgiou threshold, i.e. the network is likely connected and a single
+/// message copy suffices.
+[[nodiscard]] bool isLikelyConnected(std::size_t n, double radius,
+                                     double width, double height,
+                                     double s = 10.0);
+
+}  // namespace glr::spanner

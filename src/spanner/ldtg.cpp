@@ -1,0 +1,168 @@
+#include "spanner/ldtg.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "geometry/delaunay.hpp"
+#include "spanner/udg.hpp"
+
+namespace glr::spanner {
+
+namespace {
+
+/// Canonical 64-bit key for an undirected edge between global node ids.
+[[nodiscard]] std::uint64_t edgeKey(int u, int v) {
+  const auto lo = static_cast<std::uint32_t>(std::min(u, v));
+  const auto hi = static_cast<std::uint32_t>(std::max(u, v));
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+/// Delaunay edge set of a subset of global nodes, keyed by global ids.
+[[nodiscard]] std::unordered_set<std::uint64_t> localDelaunayEdges(
+    const std::vector<geom::Point2>& positions,
+    const std::vector<int>& members) {
+  std::unordered_set<std::uint64_t> out;
+  std::vector<geom::Point2> pts;
+  pts.reserve(members.size());
+  for (int id : members) pts.push_back(positions[id]);
+  const auto dt = geom::Delaunay::build(pts);
+  for (const auto& [a, b] : dt.edges()) {
+    out.insert(edgeKey(members[a], members[b]));
+  }
+  // Map duplicate-position members onto their canonical representative's
+  // edges so membership tests by global id still succeed.
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const int canon = dt.canonicalIndex(static_cast<int>(i));
+    if (canon != static_cast<int>(i)) {
+      out.insert(edgeKey(members[i], members[canon]));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+graph::Graph buildLdtg(const std::vector<geom::Point2>& positions,
+                       double radius, int k, LdtgRule rule) {
+  const std::size_t n = positions.size();
+  const graph::Graph udg = buildUnitDiskGraph(positions, radius);
+
+  // Per-node k-hop member lists and local Delaunay edge sets.
+  std::vector<std::vector<int>> kHood(n);
+  std::vector<std::unordered_set<std::uint64_t>> dtEdges(n);
+  std::vector<std::unordered_set<int>> kHoodSet(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    auto members = kHopNeighbors(udg, static_cast<int>(u), k);
+    members.push_back(static_cast<int>(u));
+    std::sort(members.begin(), members.end());
+    kHood[u] = members;
+    kHoodSet[u].insert(members.begin(), members.end());
+    dtEdges[u] = localDelaunayEdges(positions, members);
+  }
+
+  graph::Graph out{n};
+  for (const auto& [u, v] : udg.edges()) {
+    const std::uint64_t key = edgeKey(u, v);
+    if (!dtEdges[u].contains(key) || !dtEdges[v].contains(key)) continue;
+    if (rule == LdtgRule::PaperWitness) {
+      bool vetoed = false;
+      // Witnesses are the 1-hop neighbors of either endpoint that can see
+      // both endpoints in their own k-hop neighborhood.
+      for (int endpoint : {u, v}) {
+        for (int w : udg.neighbors(endpoint)) {
+          if (w == u || w == v) continue;
+          if (!kHoodSet[w].contains(u) || !kHoodSet[w].contains(v)) continue;
+          if (!dtEdges[w].contains(key)) {
+            vetoed = true;
+            break;
+          }
+        }
+        if (vetoed) break;
+      }
+      if (vetoed) continue;
+    }
+    out.addEdge(u, v);
+  }
+  return out;
+}
+
+std::vector<int> localSpannerNeighbors(int selfId, geom::Point2 selfPos,
+                                       const std::vector<KnownNode>& known,
+                                       double radius, bool applyWitnessRule) {
+  const double r2 = radius * radius;
+
+  // Assemble the local point set: self first, then known nodes (dedup ids).
+  std::vector<int> ids{selfId};
+  std::vector<geom::Point2> pts{selfPos};
+  std::unordered_map<int, std::size_t> indexOf{{selfId, 0}};
+  std::vector<char> oneHop{1};
+  for (const KnownNode& kn : known) {
+    if (kn.id == selfId || indexOf.contains(kn.id)) continue;
+    indexOf.emplace(kn.id, ids.size());
+    ids.push_back(kn.id);
+    pts.push_back(kn.pos);
+    oneHop.push_back(kn.oneHop ? 1 : 0);
+  }
+  if (ids.size() < 2) return {};
+
+  // Delaunay of the whole local view; candidates are edges incident to self
+  // whose other endpoint is a direct neighbor within range.
+  const auto dt = geom::Delaunay::build(pts);
+  std::vector<std::size_t> candidates;
+  for (int nb : dt.neighborsOf(dt.canonicalIndex(0))) {
+    const auto i = static_cast<std::size_t>(nb);
+    if (i == 0 || !oneHop[i]) continue;
+    if (geom::dist2(selfPos, pts[i]) > r2) continue;
+    candidates.push_back(i);
+  }
+
+  std::vector<int> accepted;
+  if (!applyWitnessRule) {
+    for (std::size_t i : candidates) accepted.push_back(ids[i]);
+    std::sort(accepted.begin(), accepted.end());
+    return accepted;
+  }
+
+  // Witness rule, evaluated on the knowledge this node actually has: every
+  // 1-hop neighbor w that (locally) sees both self and the candidate must
+  // also keep the edge in the Delaunay triangulation of w's visible
+  // neighborhood.
+  for (std::size_t vi : candidates) {
+    const geom::Point2 vPos = pts[vi];
+    bool vetoed = false;
+    for (std::size_t wi = 1; wi < ids.size() && !vetoed; ++wi) {
+      if (wi == vi || !oneHop[wi]) continue;
+      const geom::Point2 wPos = pts[wi];
+      // w's neighborhood as visible from self's knowledge.
+      if (geom::dist2(wPos, selfPos) > r2 || geom::dist2(wPos, vPos) > r2) {
+        continue;  // witness cannot see both endpoints
+      }
+      std::vector<geom::Point2> wPts;
+      std::vector<std::size_t> wIds;
+      for (std::size_t x = 0; x < ids.size(); ++x) {
+        if (geom::dist2(pts[x], wPos) <= r2) {
+          wPts.push_back(pts[x]);
+          wIds.push_back(x);
+        }
+      }
+      const auto wdt = geom::Delaunay::build(wPts);
+      int selfLocal = -1, vLocal = -1;
+      for (std::size_t x = 0; x < wIds.size(); ++x) {
+        if (wIds[x] == 0) selfLocal = static_cast<int>(x);
+        if (wIds[x] == vi) vLocal = static_cast<int>(x);
+      }
+      if (selfLocal >= 0 && vLocal >= 0 &&
+          !wdt.hasEdge(wdt.canonicalIndex(selfLocal),
+                       wdt.canonicalIndex(vLocal))) {
+        vetoed = true;
+      }
+    }
+    if (!vetoed) accepted.push_back(ids[vi]);
+  }
+  std::sort(accepted.begin(), accepted.end());
+  return accepted;
+}
+
+}  // namespace glr::spanner

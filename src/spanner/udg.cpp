@@ -1,0 +1,49 @@
+#include "spanner/udg.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace glr::spanner {
+
+graph::Graph buildUnitDiskGraph(const std::vector<geom::Point2>& positions,
+                                double radius) {
+  if (radius < 0.0) {
+    throw std::invalid_argument{"buildUnitDiskGraph: negative radius"};
+  }
+  graph::Graph g{positions.size()};
+  const double r2 = radius * radius;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    for (std::size_t j = i + 1; j < positions.size(); ++j) {
+      if (geom::dist2(positions[i], positions[j]) <= r2) {
+        g.addEdge(static_cast<int>(i), static_cast<int>(j));
+      }
+    }
+  }
+  return g;
+}
+
+std::vector<int> kHopNeighbors(const graph::Graph& g, int u, int k) {
+  if (k < 0) throw std::invalid_argument{"kHopNeighbors: negative k"};
+  std::vector<int> hops(g.numNodes(), -1);
+  std::vector<int> out;
+  std::queue<int> q;
+  hops[u] = 0;
+  q.push(u);
+  while (!q.empty()) {
+    const int x = q.front();
+    q.pop();
+    if (hops[x] == k) continue;
+    for (int v : g.neighbors(x)) {
+      if (hops[v] == -1) {
+        hops[v] = hops[x] + 1;
+        out.push_back(v);
+        q.push(v);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace glr::spanner

@@ -1,0 +1,20 @@
+#pragma once
+/// \file udg.hpp
+/// Unit-disk graphs and k-hop neighborhoods over node positions.
+
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "graph/graph.hpp"
+
+namespace glr::spanner {
+
+/// Unit-disk graph: nodes are adjacent iff their distance is <= radius.
+[[nodiscard]] graph::Graph buildUnitDiskGraph(
+    const std::vector<geom::Point2>& positions, double radius);
+
+/// Nodes within <= k hops of `u` in `g`, excluding `u`, sorted ascending.
+[[nodiscard]] std::vector<int> kHopNeighbors(const graph::Graph& g, int u,
+                                             int k);
+
+}  // namespace glr::spanner

@@ -1,0 +1,91 @@
+// Tests for face (perimeter) routing: right-hand rule selection and face
+// boundary traversal on planar graphs.
+
+#include <gtest/gtest.h>
+
+#include "core/face.hpp"
+
+#include "sim/rng.hpp"
+#include "geometry/delaunay.hpp"
+
+namespace {
+
+using glr::core::faceNextHop;
+using glr::core::traceFace;
+using glr::geom::Point2;
+
+using Nbrs = std::vector<std::pair<int, Point2>>;
+
+TEST(FaceNextHop, EmptyNeighbors) {
+  EXPECT_FALSE(faceNextHop({0, 0}, {1, 0}, {}).has_value());
+}
+
+TEST(FaceNextHop, SingleNeighborReturnsIt) {
+  // Dead end: the walk turns around through the only neighbor.
+  const Nbrs nbrs{{7, {10, 0}}};
+  EXPECT_EQ(faceNextHop({0, 0}, {10, 0}, nbrs), 7);
+}
+
+TEST(FaceNextHop, FirstCounterClockwiseFromReference) {
+  // Reference to the east; neighbors at north, west, south.
+  // CCW from east: north (90 deg) comes first.
+  const Nbrs nbrs{{1, {0, 10}}, {2, {-10, 0}}, {3, {0, -10}}};
+  EXPECT_EQ(faceNextHop({0, 0}, {10, 0}, nbrs), 1);
+}
+
+TEST(FaceNextHop, ReferenceNeighborChosenLast) {
+  // The previous hop itself sits at angle 2*pi: only chosen if alone.
+  const Nbrs nbrs{{1, {10, 0}}, {2, {0, -10}}};
+  // CCW from east: south is 270 deg < 360 deg, so 2 wins over going back.
+  EXPECT_EQ(faceNextHop({0, 0}, {10, 0}, nbrs), 2);
+}
+
+TEST(TraceFace, TriangleInnerFace) {
+  const std::vector<Point2> pts{{0, 0}, {10, 0}, {5, 8}};
+  const std::vector<std::vector<int>> adj{{1, 2}, {0, 2}, {0, 1}};
+  // The walk visits all three vertices and returns to the start.
+  EXPECT_EQ(traceFace(pts, adj, 0, 1), (std::vector<int>{0, 1, 2, 0}));
+}
+
+TEST(TraceFace, SquareWithDiagonalFaces) {
+  // Square 0-1-2-3 with diagonal 0-2. Directed edge 0->1 has the outer face
+  // on its right, so the first-CCW walk traces the square boundary; the
+  // reversed edge 1->0 traces the inner triangle {0,1,2} instead.
+  const std::vector<Point2> pts{{0, 0}, {10, 0}, {10, 10}, {0, 10}};
+  std::vector<std::vector<int>> adj{{1, 2, 3}, {0, 2}, {0, 1, 3}, {0, 2}};
+  EXPECT_EQ(traceFace(pts, adj, 0, 1), (std::vector<int>{0, 1, 2, 3, 0}));
+  EXPECT_EQ(traceFace(pts, adj, 1, 0), (std::vector<int>{1, 0, 2, 1}));
+}
+
+TEST(TraceFace, PathGraphWalksThereAndBack) {
+  // On a path 0-1-2 the single face boundary traverses each edge twice.
+  const std::vector<Point2> pts{{0, 0}, {10, 0}, {20, 0}};
+  const std::vector<std::vector<int>> adj{{1}, {0, 2}, {1}};
+  // 0 -> 1 -> 2 -> 1 -> 0 then the starting edge would repeat.
+  EXPECT_EQ(traceFace(pts, adj, 0, 1), (std::vector<int>{0, 1, 2, 1, 0}));
+}
+
+TEST(TraceFace, DelaunayFacesAreTriangles) {
+  // On a Delaunay triangulation every interior face walk closes quickly and
+  // visits exactly 3 vertices.
+  glr::sim::Rng rng{3};
+  std::vector<Point2> pts;
+  for (int i = 0; i < 30; ++i) {
+    pts.push_back({rng.uniform(0, 100), rng.uniform(0, 100)});
+  }
+  const auto dt = glr::geom::Delaunay::build(pts);
+  std::vector<std::vector<int>> adj(pts.size());
+  for (const auto& [u, v] : dt.edges()) {
+    adj[u].push_back(v);
+    adj[v].push_back(u);
+  }
+  // Walk from each triangle's first directed edge; must terminate in <= n
+  // steps and include the edge's endpoints.
+  for (const auto& tri : dt.triangles()) {
+    const auto walk = traceFace(pts, adj, tri[0], tri[1], 100);
+    EXPECT_LE(walk.size(), pts.size() + 1);
+    EXPECT_GE(walk.size(), 4u);  // smallest face: triangle + closing vertex
+  }
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+// Tests for mobility models: boundedness, speed limits, determinism and
+// degenerate-parameter rejection.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mobility/mobility.hpp"
+
+namespace {
+
+using glr::geom::dist;
+using glr::geom::Point2;
+using glr::mobility::Area;
+using glr::mobility::randomPosition;
+using glr::mobility::RandomWalk;
+using glr::mobility::RandomWaypoint;
+using glr::mobility::StaticMobility;
+using glr::sim::Rng;
+
+constexpr Area kArea{1500.0, 300.0};
+
+TEST(StaticMobility, NeverMoves) {
+  StaticMobility m{{10, 20}};
+  EXPECT_EQ(m.positionAt(0.0), (Point2{10, 20}));
+  EXPECT_EQ(m.positionAt(1000.0), (Point2{10, 20}));
+}
+
+TEST(RandomWaypoint, StaysInsideArea) {
+  RandomWaypoint m{kArea, 0.1, 20.0, 0.0, {100, 100}, Rng{1}};
+  for (double t = 0.0; t <= 4000.0; t += 0.5) {
+    const Point2 p = m.positionAt(t);
+    ASSERT_GE(p.x, 0.0);
+    ASSERT_LE(p.x, kArea.width);
+    ASSERT_GE(p.y, 0.0);
+    ASSERT_LE(p.y, kArea.height);
+  }
+}
+
+TEST(RandomWaypoint, RespectsSpeedBounds) {
+  RandomWaypoint m{kArea, 0.5, 20.0, 0.0, {100, 100}, Rng{2}};
+  Point2 prev = m.positionAt(0.0);
+  for (double t = 0.1; t <= 500.0; t += 0.1) {
+    const Point2 p = m.positionAt(t);
+    const double v = dist(prev, p) / 0.1;
+    // Within a leg speed <= max; across a waypoint turn the chord is shorter.
+    EXPECT_LE(v, 20.0 + 1e-6) << "t=" << t;
+    prev = p;
+  }
+}
+
+TEST(RandomWaypoint, ActuallyMoves) {
+  RandomWaypoint m{kArea, 1.0, 20.0, 0.0, {750, 150}, Rng{3}};
+  const Point2 p0 = m.positionAt(0.0);
+  const Point2 p1 = m.positionAt(60.0);
+  EXPECT_GT(dist(p0, p1), 1.0);
+}
+
+TEST(RandomWaypoint, PauseHoldsPosition) {
+  RandomWaypoint m{{100, 100}, 10.0, 10.0, 1000.0, {50, 50}, Rng{4}};
+  // First leg is at most ~14s (diagonal/10); afterwards it pauses for 1000s.
+  const Point2 pArrived = m.positionAt(20.0);
+  const Point2 pStill = m.positionAt(500.0);
+  EXPECT_EQ(pArrived, pStill);
+}
+
+TEST(RandomWaypoint, DeterministicForSeed) {
+  RandomWaypoint a{kArea, 0.1, 20.0, 0.0, {10, 10}, Rng{7}};
+  RandomWaypoint b{kArea, 0.1, 20.0, 0.0, {10, 10}, Rng{7}};
+  for (double t = 0.0; t < 100.0; t += 1.0) {
+    EXPECT_EQ(a.positionAt(t), b.positionAt(t));
+  }
+}
+
+TEST(RandomWaypoint, RejectsBackwardTime) {
+  RandomWaypoint m{kArea, 1.0, 5.0, 0.0, {0, 0}, Rng{8}};
+  (void)m.positionAt(10.0);
+  EXPECT_THROW((void)m.positionAt(5.0), std::invalid_argument);
+}
+
+TEST(RandomWaypoint, RejectsBadParameters) {
+  EXPECT_THROW(RandomWaypoint({0, 100}, 1, 2, 0, {0, 0}, Rng{1}),
+               std::invalid_argument);
+  EXPECT_THROW(RandomWaypoint(kArea, 0.0, 2, 0, {0, 0}, Rng{1}),
+               std::invalid_argument);
+  EXPECT_THROW(RandomWaypoint(kArea, 3, 2, 0, {0, 0}, Rng{1}),
+               std::invalid_argument);
+  EXPECT_THROW(RandomWaypoint(kArea, 1, 2, -1, {0, 0}, Rng{1}),
+               std::invalid_argument);
+}
+
+TEST(RandomWalk, StaysInsideAreaWithReflection) {
+  RandomWalk m{{200, 100}, 5.0, 15.0, 10.0, {100, 50}, Rng{9}};
+  for (double t = 0.0; t <= 2000.0; t += 0.25) {
+    const Point2 p = m.positionAt(t);
+    ASSERT_GE(p.x, 0.0);
+    ASSERT_LE(p.x, 200.0);
+    ASSERT_GE(p.y, 0.0);
+    ASSERT_LE(p.y, 100.0);
+  }
+}
+
+TEST(RandomWalk, CoversSpace) {
+  RandomWalk m{{200, 200}, 10.0, 10.0, 5.0, {100, 100}, Rng{10}};
+  bool left = false, right = false;
+  for (double t = 0.0; t <= 5000.0; t += 1.0) {
+    const Point2 p = m.positionAt(t);
+    if (p.x < 50.0) left = true;
+    if (p.x > 150.0) right = true;
+  }
+  EXPECT_TRUE(left);
+  EXPECT_TRUE(right);
+}
+
+TEST(RandomPosition, UniformInArea) {
+  Rng rng{11};
+  double sx = 0.0, sy = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const Point2 p = randomPosition(kArea, rng);
+    ASSERT_GE(p.x, 0.0);
+    ASSERT_LE(p.x, kArea.width);
+    ASSERT_GE(p.y, 0.0);
+    ASSERT_LE(p.y, kArea.height);
+    sx += p.x;
+    sy += p.y;
+  }
+  EXPECT_NEAR(sx / n, kArea.width / 2.0, 15.0);
+  EXPECT_NEAR(sy / n, kArea.height / 2.0, 5.0);
+}
+
+}  // namespace

@@ -1,0 +1,94 @@
+// Tests for propagation models and threshold solving.
+
+#include <gtest/gtest.h>
+
+#include "phy/propagation.hpp"
+
+namespace {
+
+using glr::phy::FreeSpace;
+using glr::phy::RadioParams;
+using glr::phy::solveThresholds;
+using glr::phy::TwoRayGround;
+
+TEST(TwoRayGround, CrossoverMatchesNs2Defaults) {
+  const TwoRayGround m;
+  // 4*pi*1.5*1.5/0.328227 ~ 86.14 m (ns-2's well-known crossover).
+  EXPECT_NEAR(m.crossoverDistance(), 86.14, 0.1);
+}
+
+TEST(TwoRayGround, MonotoneDecreasing) {
+  const TwoRayGround m;
+  double prev = m.rxPower(0.28183815, 1.0);
+  for (double d = 2.0; d <= 600.0; d += 1.0) {
+    const double p = m.rxPower(0.28183815, d);
+    EXPECT_LT(p, prev) << "d=" << d;
+    prev = p;
+  }
+}
+
+TEST(TwoRayGround, ContinuousAtCrossover) {
+  const TwoRayGround m;
+  const double c = m.crossoverDistance();
+  const double below = m.rxPower(1.0, c * 0.9999);
+  const double above = m.rxPower(1.0, c * 1.0001);
+  EXPECT_NEAR(below / above, 1.0, 0.01);
+}
+
+TEST(TwoRayGround, FourthPowerFalloffFarField) {
+  const TwoRayGround m;
+  const double p200 = m.rxPower(1.0, 200.0);
+  const double p400 = m.rxPower(1.0, 400.0);
+  EXPECT_NEAR(p200 / p400, 16.0, 1e-6);  // d^4 law
+}
+
+TEST(TwoRayGround, MatchesNs2ReferenceThreshold) {
+  // ns-2's threshold utility gives RXThresh = 3.652e-10 W for 250 m with
+  // default TwoRayGround parameters and Pt = 0.28183815 W.
+  const TwoRayGround m;
+  EXPECT_NEAR(m.rxPower(0.28183815, 250.0) / 3.652e-10, 1.0, 0.01);
+}
+
+TEST(FreeSpace, InverseSquare) {
+  const FreeSpace m;
+  const double p100 = m.rxPower(1.0, 100.0);
+  const double p200 = m.rxPower(1.0, 200.0);
+  EXPECT_NEAR(p100 / p200, 4.0, 1e-6);
+}
+
+TEST(Thresholds, SolvedRangeIsExact) {
+  const TwoRayGround m;
+  RadioParams radio;
+  for (const double range : {50.0, 100.0, 150.0, 200.0, 250.0}) {
+    radio.nominalRange = range;
+    const auto t = solveThresholds(m, radio);
+    // Power at the nominal range equals the threshold; just inside exceeds
+    // it, just outside falls below.
+    EXPECT_GE(m.rxPower(radio.txPowerW, range - 0.01), t.rxThresholdW);
+    EXPECT_LT(m.rxPower(radio.txPowerW, range + 0.01), t.rxThresholdW);
+    EXPECT_DOUBLE_EQ(t.csRange, range * radio.carrierSenseFactor);
+    EXPECT_LT(t.csThresholdW, t.rxThresholdW);
+  }
+}
+
+TEST(Thresholds, BadParamsThrow) {
+  const TwoRayGround m;
+  RadioParams radio;
+  radio.nominalRange = -1.0;
+  EXPECT_THROW(solveThresholds(m, radio), std::invalid_argument);
+  radio.nominalRange = 100.0;
+  radio.carrierSenseFactor = 0.5;
+  EXPECT_THROW(solveThresholds(m, radio), std::invalid_argument);
+}
+
+TEST(TwoRayGround, NegativeDistanceThrows) {
+  const TwoRayGround m;
+  EXPECT_THROW((void)m.rxPower(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(TwoRayGround, ZeroDistanceIsTxPower) {
+  const TwoRayGround m;
+  EXPECT_DOUBLE_EQ(m.rxPower(0.5, 0.0), 0.5);
+}
+
+}  // namespace

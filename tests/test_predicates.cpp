@@ -1,0 +1,208 @@
+// Tests for exact geometric predicates and the expansion arithmetic that
+// backs their slow path. Degenerate/adversarial cases matter most here: the
+// Delaunay construction's termination depends on exact signs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/expansion.hpp"
+#include "geometry/point.hpp"
+#include "geometry/predicates.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using glr::geom::incircle;
+using glr::geom::onSegment;
+using glr::geom::orient2d;
+using glr::geom::Point2;
+using glr::geom::segmentsCrossProperly;
+using glr::geom::segmentsIntersect;
+namespace detail = glr::geom::detail;
+
+TEST(Expansion, TwoSumExact) {
+  double hi, lo;
+  detail::twoSum(1e16, 1.0, hi, lo);
+  // 1e16 + 1 is not representable; hi+lo must reproduce it exactly.
+  EXPECT_EQ(hi, 1e16);
+  EXPECT_EQ(lo, 1.0);
+}
+
+TEST(Expansion, TwoProductExact) {
+  double hi, lo;
+  const double a = 1.0 + 0x1.0p-30;
+  const double b = 1.0 - 0x1.0p-30;
+  detail::twoProduct(a, b, hi, lo);
+  // a*b = 1 - 2^-60 exactly; check hi+lo reconstructs it.
+  EXPECT_EQ(hi, 1.0);
+  EXPECT_EQ(lo, -0x1.0p-60);
+}
+
+TEST(Expansion, SumAndSign) {
+  auto e = detail::exactProduct(1e20, 1.0);
+  e = detail::growExpansion(e, -1e20);
+  e = detail::growExpansion(e, 1.0);
+  EXPECT_EQ(detail::expansionSign(e), 1);
+  EXPECT_DOUBLE_EQ(detail::expansionEstimate(e), 1.0);
+
+  auto z = detail::exactDiff(5.0, 5.0);
+  EXPECT_EQ(detail::expansionSign(z), 0);
+}
+
+TEST(Expansion, ProductDistributes) {
+  // (1e17 + 3) * (1e17 - 3) = 1e34 - 9 exactly.
+  auto a = detail::growExpansion(detail::Expansion{}, 3.0);
+  a = detail::growExpansion(a, 1e17);
+  auto b = detail::growExpansion(detail::Expansion{}, -3.0);
+  b = detail::growExpansion(b, 1e17);
+  auto prod = detail::expansionProduct(a, b);
+  auto expect = detail::exactProduct(1e17, 1e17);
+  expect = detail::growExpansion(expect, -9.0);
+  const auto diff = detail::expansionDiff(prod, expect);
+  EXPECT_EQ(detail::expansionSign(diff), 0);
+}
+
+TEST(Orient2d, BasicSigns) {
+  const Point2 a{0, 0}, b{1, 0}, c{0, 1};
+  EXPECT_GT(orient2d(a, b, c), 0.0);  // CCW
+  EXPECT_LT(orient2d(a, c, b), 0.0);  // CW
+  EXPECT_EQ(orient2d(a, b, Point2{2, 0}), 0.0);  // collinear
+}
+
+TEST(Orient2d, ExactOnNearlyCollinear) {
+  // Classic filter-breaking configuration: points almost on a line, with
+  // perturbations far below the naive double-precision noise floor.
+  const Point2 a{0.5, 0.5};
+  const Point2 b{12.0, 12.0};
+  for (int i = -2; i <= 2; ++i) {
+    // ulp(24) = 2^-48: the perturbation must be representable in c.y.
+    const double eps = static_cast<double>(i) * 0x1.0p-44;
+    const Point2 c{24.0, 24.0 + eps};
+    const double s = orient2d(a, b, c);
+    if (i > 0) {
+      EXPECT_GT(s, 0.0) << "i=" << i;
+    } else if (i < 0) {
+      EXPECT_LT(s, 0.0) << "i=" << i;
+    } else {
+      EXPECT_EQ(s, 0.0);
+    }
+  }
+}
+
+TEST(Orient2d, AntiSymmetry) {
+  glr::sim::Rng rng{42};
+  for (int iter = 0; iter < 2000; ++iter) {
+    const Point2 a{rng.uniform(-100, 100), rng.uniform(-100, 100)};
+    const Point2 b{rng.uniform(-100, 100), rng.uniform(-100, 100)};
+    const Point2 c{rng.uniform(-100, 100), rng.uniform(-100, 100)};
+    const double s1 = orient2d(a, b, c);
+    const double s2 = orient2d(b, a, c);
+    EXPECT_EQ(s1 > 0, s2 < 0);
+    EXPECT_EQ(s1 == 0, s2 == 0);
+    // Cyclic permutation preserves the sign.
+    const double s3 = orient2d(b, c, a);
+    EXPECT_EQ(s1 > 0, s3 > 0);
+    EXPECT_EQ(s1 < 0, s3 < 0);
+  }
+}
+
+TEST(Incircle, BasicInsideOutside) {
+  // Unit circle through (1,0), (0,1), (-1,0).
+  const Point2 a{1, 0}, b{0, 1}, c{-1, 0};
+  ASSERT_GT(orient2d(a, b, c), 0.0);
+  EXPECT_GT(incircle(a, b, c, Point2{0, 0}), 0.0);       // center: inside
+  EXPECT_LT(incircle(a, b, c, Point2{2, 2}), 0.0);       // far: outside
+  EXPECT_EQ(incircle(a, b, c, Point2{0, -1}), 0.0);      // on circle
+}
+
+TEST(Incircle, ExactOnCocircular) {
+  // Four points of an axis-aligned square are exactly cocircular.
+  const Point2 a{0, 0}, b{2, 0}, c{2, 2}, d{0, 2};
+  EXPECT_EQ(incircle(a, b, c, d), 0.0);
+  // Nudge the query point by one ulp each way: the sign must track it.
+  EXPECT_GT(incircle(a, b, c, Point2{0 + 0x1.0p-50, 2 - 0x1.0p-50}), 0.0);
+  EXPECT_LT(incircle(a, b, c, Point2{0 - 0x1.0p-50, 2 + 0x1.0p-50}), 0.0);
+}
+
+TEST(Incircle, OrientationFlipsSign) {
+  const Point2 a{1, 0}, b{0, 1}, c{-1, 0}, q{0, 0.5};
+  const double ccw = incircle(a, b, c, q);
+  const double cw = incircle(a, c, b, q);
+  EXPECT_GT(ccw, 0.0);
+  EXPECT_LT(cw, 0.0);
+}
+
+TEST(Incircle, SymmetricUnderCyclicPermutation) {
+  glr::sim::Rng rng{43};
+  for (int iter = 0; iter < 1000; ++iter) {
+    const Point2 a{rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    const Point2 b{rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    const Point2 c{rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    const Point2 d{rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    const double s1 = incircle(a, b, c, d);
+    const double s2 = incircle(b, c, a, d);
+    EXPECT_EQ(s1 > 0, s2 > 0);
+    EXPECT_EQ(s1 < 0, s2 < 0);
+  }
+}
+
+TEST(Segments, ProperCrossing) {
+  EXPECT_TRUE(segmentsCrossProperly({0, 0}, {2, 2}, {0, 2}, {2, 0}));
+  EXPECT_FALSE(segmentsCrossProperly({0, 0}, {1, 1}, {2, 2}, {3, 3}));
+}
+
+TEST(Segments, SharedEndpointIsNotProper) {
+  EXPECT_FALSE(segmentsCrossProperly({0, 0}, {1, 1}, {1, 1}, {2, 0}));
+  EXPECT_TRUE(segmentsIntersect({0, 0}, {1, 1}, {1, 1}, {2, 0}));
+}
+
+TEST(Segments, TTouchIsProper) {
+  // Endpoint of one segment interior to the other: violates planarity.
+  EXPECT_TRUE(segmentsCrossProperly({0, 0}, {2, 0}, {1, 0}, {1, 1}));
+}
+
+TEST(Segments, CollinearOverlap) {
+  EXPECT_TRUE(segmentsIntersect({0, 0}, {2, 0}, {1, 0}, {3, 0}));
+  EXPECT_TRUE(segmentsCrossProperly({0, 0}, {2, 0}, {1, 0}, {3, 0}));
+  // Disjoint collinear segments do not intersect.
+  EXPECT_FALSE(segmentsIntersect({0, 0}, {1, 0}, {2, 0}, {3, 0}));
+}
+
+TEST(Segments, ParallelNonIntersecting) {
+  EXPECT_FALSE(segmentsIntersect({0, 0}, {2, 0}, {0, 1}, {2, 1}));
+  EXPECT_FALSE(segmentsCrossProperly({0, 0}, {2, 0}, {0, 1}, {2, 1}));
+}
+
+TEST(OnSegment, EndpointsAndInterior) {
+  EXPECT_TRUE(onSegment({0, 0}, {2, 2}, {1, 1}));
+  EXPECT_TRUE(onSegment({0, 0}, {2, 2}, {0, 0}));
+  EXPECT_TRUE(onSegment({0, 0}, {2, 2}, {2, 2}));
+  EXPECT_FALSE(onSegment({0, 0}, {2, 2}, {3, 3}));
+  EXPECT_FALSE(onSegment({0, 0}, {2, 2}, {1, 1.0000001}));
+}
+
+// Property sweep: the filtered predicate must agree with a brute-force
+// exact evaluation on a grid of small-integer coordinates (where doubles
+// are exact and the naive formula is reliable).
+TEST(PredicateProperty, AgreesWithNaiveOnExactGrid) {
+  for (int ax = -3; ax <= 3; ++ax)
+    for (int ay = -3; ay <= 3; ++ay)
+      for (int bx = -3; bx <= 3; bx += 2)
+        for (int by = -3; by <= 3; by += 2)
+          for (int cx = -3; cx <= 3; cx += 3)
+            for (int cy = -3; cy <= 3; cy += 3) {
+              const Point2 a{static_cast<double>(ax), static_cast<double>(ay)};
+              const Point2 b{static_cast<double>(bx), static_cast<double>(by)};
+              const Point2 c{static_cast<double>(cx), static_cast<double>(cy)};
+              const long long naive =
+                  static_cast<long long>(ax - cx) * (by - cy) -
+                  static_cast<long long>(ay - cy) * (bx - cx);
+              const double got = orient2d(a, b, c);
+              EXPECT_EQ(naive > 0, got > 0);
+              EXPECT_EQ(naive < 0, got < 0);
+              EXPECT_EQ(naive == 0, got == 0);
+            }
+}
+
+}  // namespace

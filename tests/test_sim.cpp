@@ -1,0 +1,233 @@
+// Tests for the discrete-event kernel and the deterministic RNG.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using glr::sim::EventHandle;
+using glr::sim::Rng;
+using glr::sim::Simulator;
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(3.0, [&] { order.push_back(3); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] { ++fired; });
+  sim.schedule(2.0, [&] { ++fired; });
+  sim.schedule(5.0, [&] { ++fired; });
+  const auto ran = sim.run(2.0);
+  EXPECT_EQ(ran, 2u);
+  EXPECT_EQ(fired, 2);
+  // Event exactly at the horizon fires; the later one remains.
+  EXPECT_TRUE(sim.hasPending());
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, NestedSchedulingFromCallbacks) {
+  Simulator sim;
+  std::vector<double> times;
+  std::function<void()> tick = [&] {
+    times.push_back(sim.now());
+    if (times.size() < 5) sim.schedule(1.5, tick);
+  };
+  sim.schedule(0.0, tick);
+  sim.run();
+  ASSERT_EQ(times.size(), 5u);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_DOUBLE_EQ(times[i], 1.5 * static_cast<double>(i));
+  }
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle h = sim.schedule(1.0, [&] { ++fired; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, CancelAfterFireIsNoop) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle h = sim.schedule(1.0, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not crash or affect anything
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, DefaultHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();
+}
+
+TEST(Simulator, StopEndsRunEarly) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule(2.0, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.hasPending());
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+  Simulator sim;
+  sim.schedule(5.0, [] {});
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  EXPECT_THROW(sim.scheduleAt(1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, EmptyCallbackThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule(1.0, Simulator::Callback{}), std::invalid_argument);
+}
+
+TEST(Simulator, StepExecutesExactlyN) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 5; ++i) sim.schedule(i, [&] { ++fired; });
+  EXPECT_EQ(sim.step(2), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.step(10), 3u);
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(Simulator, AdvancesToHorizonWhenQueueEmpty) {
+  Simulator sim;
+  sim.run(100.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{12345};
+  Rng b{12345};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  Rng master{99};
+  Rng f1 = master.fork(0);
+  Rng f2 = master.fork(1);
+  Rng f1again = Rng{99}.fork(0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(f1(), f1again());
+  }
+  // Forks with different stream ids produce different streams.
+  Rng g1 = Rng{99}.fork(0);
+  Rng g2 = Rng{99}.fork(1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (g1() == g2()) ++same;
+  }
+  EXPECT_LT(same, 5);
+  (void)f2;
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng{7};
+  double minv = 1.0, maxv = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    minv = std::min(minv, u);
+    maxv = std::max(maxv, u);
+  }
+  EXPECT_LT(minv, 0.01);
+  EXPECT_GT(maxv, 0.99);
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng{11};
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform(10.0, 20.0);
+  EXPECT_NEAR(sum / n, 15.0, 0.05);
+}
+
+TEST(Rng, BelowIsUnbiasedAcrossSmallRange) {
+  Rng rng{13};
+  std::vector<int> counts(7, 0);
+  const int n = 700000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(7)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 7.0, n / 7.0 * 0.05);
+  }
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng rng{17};
+  bool sawLo = false, sawHi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    if (v == -3) sawLo = true;
+    if (v == 3) sawHi = true;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng{19};
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean) {
+  Rng rng{21};
+  EXPECT_THROW((void)rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW((void)rng.exponential(-1.0), std::invalid_argument);
+}
+
+}  // namespace
