@@ -118,6 +118,9 @@ ScenarioResult runScenario(const ScenarioConfig& cfg) {
   macParams.queueLimit = cfg.queueLimit;
 
   net::World world{simulator, model, radio, macParams};
+  // Receiver lookups go through the spatial grid; candidate sets are padded
+  // by worst-case waypoint drift so results match the unindexed channel.
+  world.enableSpatialIndex(cfg.speedMax);
   dtn::MetricsCollector metrics;
 
   const mobility::Area area{cfg.areaWidth, cfg.areaHeight};

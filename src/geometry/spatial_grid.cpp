@@ -1,0 +1,124 @@
+#include "geometry/spatial_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace glr::geom {
+
+namespace {
+/// Cap on total cells: bounds memory on very sparse point sets (huge extent,
+/// small radius) by enlarging the cell size instead of allocating the full
+/// fine grid. Queries stay correct; they just scan slightly larger buckets.
+constexpr std::size_t kMaxCellsBase = 1024;
+constexpr std::size_t kMaxCellsPerPoint = 4;
+}  // namespace
+
+SpatialGrid::SpatialGrid(std::vector<Point2> points, double cellSize)
+    : points_(std::move(points)) {
+  if (!(cellSize > 0.0) || !std::isfinite(cellSize)) {
+    throw std::invalid_argument{"SpatialGrid: cellSize must be positive"};
+  }
+  cell_ = cellSize;
+
+  Point2 lo{0.0, 0.0};
+  Point2 hi{0.0, 0.0};
+  if (!points_.empty()) {
+    lo = hi = points_.front();
+    for (const Point2& p : points_) {
+      if (!std::isfinite(p.x) || !std::isfinite(p.y)) {
+        throw std::invalid_argument{"SpatialGrid: non-finite point"};
+      }
+      lo.x = std::min(lo.x, p.x);
+      lo.y = std::min(lo.y, p.y);
+      hi.x = std::max(hi.x, p.x);
+      hi.y = std::max(hi.y, p.y);
+    }
+  }
+  origin_ = lo;
+
+  const std::size_t maxCells =
+      kMaxCellsBase + kMaxCellsPerPoint * points_.size();
+  const double w = hi.x - lo.x;
+  const double h = hi.y - lo.y;
+  // Enlarge the cell until the grid fits the cap (at most a few doublings).
+  while ((std::floor(w / cell_) + 1.0) * (std::floor(h / cell_) + 1.0) >
+         static_cast<double>(maxCells)) {
+    cell_ *= 2.0;
+  }
+  nx_ = static_cast<int>(std::floor(w / cell_)) + 1;
+  ny_ = static_cast<int>(std::floor(h / cell_)) + 1;
+
+  // Counting sort of point indices into row-major cell buckets.
+  const std::size_t numCells =
+      static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_);
+  cellStart_.assign(numCells + 1, 0);
+  std::vector<std::size_t> cellIndex(points_.size());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const std::size_t c = cellOf(clampCellX(points_[i].x),
+                                 clampCellY(points_[i].y));
+    cellIndex[i] = c;
+    ++cellStart_[c + 1];
+  }
+  for (std::size_t c = 1; c <= numCells; ++c) {
+    cellStart_[c] += cellStart_[c - 1];
+  }
+  order_.resize(points_.size());
+  std::vector<std::size_t> cursor(cellStart_.begin(), cellStart_.end() - 1);
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    order_[cursor[cellIndex[i]]++] = static_cast<int>(i);
+  }
+}
+
+int SpatialGrid::clampCellX(double x) const {
+  const int c = static_cast<int>(std::floor((x - origin_.x) / cell_));
+  return std::clamp(c, 0, nx_ - 1);
+}
+
+int SpatialGrid::clampCellY(double y) const {
+  const int c = static_cast<int>(std::floor((y - origin_.y) / cell_));
+  return std::clamp(c, 0, ny_ - 1);
+}
+
+void SpatialGrid::checkQueryRadius(double radius) const {
+  if (!(radius >= 0.0)) {
+    throw std::invalid_argument{"SpatialGrid: negative query radius"};
+  }
+  // One-cell neighborhoods are only sufficient up to the cell size.
+  if (radius > cell_) {
+    throw std::invalid_argument{
+        "SpatialGrid: query radius exceeds cell size"};
+  }
+}
+
+void SpatialGrid::queryRadius(Point2 center, double radius,
+                              std::vector<int>& out) const {
+  if (!(radius >= 0.0)) {
+    throw std::invalid_argument{"SpatialGrid: negative query radius"};
+  }
+  if (points_.empty()) return;
+  const double r2 = radius * radius;
+  const int cx0 = clampCellX(center.x - radius);
+  const int cx1 = clampCellX(center.x + radius);
+  const int cy0 = clampCellY(center.y - radius);
+  const int cy1 = clampCellY(center.y + radius);
+  for (int cy = cy0; cy <= cy1; ++cy) {
+    for (int cx = cx0; cx <= cx1; ++cx) {
+      const std::size_t c = cellOf(cx, cy);
+      for (std::size_t a = cellStart_[c]; a < cellStart_[c + 1]; ++a) {
+        const int i = order_[a];
+        if (dist2(points_[static_cast<std::size_t>(i)], center) <= r2) {
+          out.push_back(i);
+        }
+      }
+    }
+  }
+}
+
+std::vector<int> SpatialGrid::queryRadius(Point2 center, double radius) const {
+  std::vector<int> out;
+  queryRadius(center, radius, out);
+  return out;
+}
+
+}  // namespace glr::geom

@@ -1,0 +1,108 @@
+#pragma once
+/// \file spatial_grid.hpp
+/// Uniform-grid point index for fixed-radius neighbor queries.
+///
+/// Cell size is chosen equal to the query radius it is built for, so a
+/// radius query inspects at most the 3x3 block of cells around the center
+/// and a full all-pairs sweep touches each cell's half-neighborhood once.
+/// This turns the O(n^2) scans in topology construction (unit-disk graph)
+/// and channel receiver enumeration into O(n * k) for average degree k.
+///
+/// The index is a snapshot: it copies the positions it is built over and
+/// never observes later movement. Callers that track moving points rebuild
+/// periodically and pad the query radius by the maximum drift since the
+/// snapshot (see mac::Channel::enableReceiverIndex).
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/point.hpp"
+
+namespace glr::geom {
+
+class SpatialGrid {
+ public:
+  /// Builds the index over a snapshot of `points`. `cellSize` must be
+  /// positive and finite; pass the radius you intend to query with. The
+  /// effective cell size may be enlarged to bound the cell count on very
+  /// sparse inputs (this never affects correctness, only constants).
+  SpatialGrid(std::vector<Point2> points, double cellSize);
+
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] const std::vector<Point2>& points() const { return points_; }
+  /// Effective cell size after the sparse-input adjustment.
+  [[nodiscard]] double cellSize() const { return cell_; }
+
+  /// Appends to `out` the indices of all points with
+  /// dist(point, center) <= radius (inclusive), in unspecified order.
+  /// Any non-negative radius is allowed (the scanned cell block grows with
+  /// it); queries at ~cellSize() are the efficient case.
+  void queryRadius(Point2 center, double radius, std::vector<int>& out) const;
+
+  /// Convenience overload returning a fresh vector.
+  [[nodiscard]] std::vector<int> queryRadius(Point2 center,
+                                             double radius) const;
+
+  /// Calls fn(i, j) exactly once for every unordered pair i < j with
+  /// dist(points[i], points[j]) <= radius (inclusive). `radius` must be
+  /// non-negative and at most cellSize(). Pair order is unspecified.
+  template <typename Fn>
+  void forEachPairWithin(double radius, Fn&& fn) const {
+    checkQueryRadius(radius);
+    const double r2 = radius * radius;
+    // Half neighborhood: within-cell plus E, NW, N, NE. Every cell pair is
+    // visited from exactly one side, so each point pair is seen once.
+    static constexpr int kDx[] = {1, -1, 0, 1};
+    static constexpr int kDy[] = {0, 1, 1, 1};
+    for (int cy = 0; cy < ny_; ++cy) {
+      for (int cx = 0; cx < nx_; ++cx) {
+        const std::size_t c = cellOf(cx, cy);
+        const std::size_t aBegin = cellStart_[c];
+        const std::size_t aEnd = cellStart_[c + 1];
+        for (std::size_t a = aBegin; a < aEnd; ++a) {
+          const int i = order_[a];
+          for (std::size_t b = a + 1; b < aEnd; ++b) {
+            const int j = order_[b];
+            if (dist2(points_[i], points_[j]) <= r2) {
+              fn(i < j ? i : j, i < j ? j : i);
+            }
+          }
+        }
+        for (int d = 0; d < 4; ++d) {
+          const int ox = cx + kDx[d];
+          const int oy = cy + kDy[d];
+          if (ox < 0 || ox >= nx_ || oy >= ny_) continue;
+          const std::size_t o = cellOf(ox, oy);
+          for (std::size_t a = aBegin; a < aEnd; ++a) {
+            const int i = order_[a];
+            for (std::size_t b = cellStart_[o]; b < cellStart_[o + 1]; ++b) {
+              const int j = order_[b];
+              if (dist2(points_[i], points_[j]) <= r2) {
+                fn(i < j ? i : j, i < j ? j : i);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  void checkQueryRadius(double radius) const;
+  [[nodiscard]] std::size_t cellOf(int cx, int cy) const {
+    return static_cast<std::size_t>(cy) * static_cast<std::size_t>(nx_) +
+           static_cast<std::size_t>(cx);
+  }
+  [[nodiscard]] int clampCellX(double x) const;
+  [[nodiscard]] int clampCellY(double y) const;
+
+  std::vector<Point2> points_;
+  Point2 origin_;      // lower-left corner of the bounding box
+  double cell_ = 1.0;  // effective cell size
+  int nx_ = 1;
+  int ny_ = 1;
+  std::vector<std::size_t> cellStart_;  // CSR offsets, size nx*ny + 1
+  std::vector<int> order_;              // point indices bucketed by cell
+};
+
+}  // namespace glr::geom

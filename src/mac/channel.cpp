@@ -33,6 +33,49 @@ void Channel::attach(Mac* mac) {
   const auto id = static_cast<std::size_t>(mac->id());
   if (macs_.size() <= id) macs_.resize(id + 1, nullptr);
   macs_[id] = mac;
+  // A node joined: any receiver-index snapshot is incomplete now.
+  indexGrid_.reset();
+}
+
+void Channel::enableReceiverIndex(double maxRange, double maxSpeed,
+                                  double rebuildInterval) {
+  if (!(maxRange > 0.0) || !(maxSpeed >= 0.0) || !(rebuildInterval > 0.0)) {
+    throw std::invalid_argument{"Channel::enableReceiverIndex: bad params"};
+  }
+  indexEnabled_ = true;
+  // Tiny absolute pad so FP rounding at the exact range boundary can never
+  // exclude a node the threshold check would accept.
+  indexMaxRange_ = maxRange + 1e-6;
+  indexSlack_ = maxSpeed * rebuildInterval;
+  indexRebuildInterval_ = rebuildInterval;
+  indexGrid_.reset();
+}
+
+const std::vector<int>& Channel::receiverCandidates(geom::Point2 center) {
+  const sim::SimTime now = sim_.now();
+  if (!indexGrid_ || now - indexBuiltAt_ > indexRebuildInterval_) {
+    std::vector<geom::Point2> pts;
+    pts.reserve(macs_.size());
+    indexToMacId_.clear();
+    for (std::size_t id = 0; id < macs_.size(); ++id) {
+      if (macs_[id] == nullptr) continue;
+      pts.push_back(positionOf_(static_cast<int>(id)));
+      indexToMacId_.push_back(static_cast<int>(id));
+    }
+    indexGrid_ = std::make_unique<geom::SpatialGrid>(
+        std::move(pts), indexMaxRange_ + indexSlack_);
+    indexBuiltAt_ = now;
+  }
+  candidateScratch_.clear();
+  indexGrid_->queryRadius(center, indexMaxRange_ + indexSlack_,
+                          candidateScratch_);
+  for (int& c : candidateScratch_) {
+    c = indexToMacId_[static_cast<std::size_t>(c)];
+  }
+  // Ascending ids: receivers are visited in exactly the full-scan order, so
+  // enabling the index never reorders simulation events.
+  std::sort(candidateScratch_.begin(), candidateScratch_.end());
+  return candidateScratch_;
 }
 
 double Channel::powerAt(const ActiveTx& tx, geom::Point2 rxPos) const {
@@ -81,26 +124,24 @@ void Channel::finishTransmission(std::uint64_t txId) {
   if (txId < historyBaseId_) return;  // already pruned (should not happen)
   const ActiveTx& tx = history_[txId - historyBaseId_];
 
-  for (std::size_t v = 0; v < macs_.size(); ++v) {
-    Mac* mac = macs_[v];
-    if (mac == nullptr || static_cast<int>(v) == tx.sender) continue;
-    const bool isBroadcast = tx.frame.dst == net::kBroadcast;
-    if (!isBroadcast && tx.frame.dst != static_cast<int>(v)) continue;
+  const auto tryDeliver = [this, &tx](int v) {
+    Mac* mac = static_cast<std::size_t>(v) < macs_.size()
+                   ? macs_[static_cast<std::size_t>(v)]
+                   : nullptr;
+    if (mac == nullptr || v == tx.sender) return;
 
-    const geom::Point2 rxPos = positionOf_(static_cast<int>(v));
+    const geom::Point2 rxPos = positionOf_(v);
     const double signal = powerAt(tx, rxPos);
-    if (signal < thresholds_.rxThresholdW) continue;  // out of range
+    if (signal < thresholds_.rxThresholdW) return;  // out of range
 
     if (mac->transmittedDuring(tx.start, tx.end)) {
       ++stats_.rxWhileTx;
-      continue;
+      return;
     }
 
     bool collided = false;
     for (const ActiveTx& other : history_) {
-      if (other.sender == tx.sender || other.sender == static_cast<int>(v)) {
-        continue;
-      }
+      if (other.sender == tx.sender || other.sender == v) continue;
       if (other.start >= tx.end || tx.start >= other.end) continue;
       const double p = powerAt(other, rxPos);
       if (p >= thresholds_.csThresholdW && p * kCaptureRatio > signal) {
@@ -110,10 +151,24 @@ void Channel::finishTransmission(std::uint64_t txId) {
     }
     if (collided) {
       ++stats_.collisions;
-      continue;
+      return;
     }
     ++stats_.framesDelivered;
     mac->onFrameReceived(tx.frame);
+  };
+
+  if (tx.frame.dst != net::kBroadcast) {
+    // Unicast: the destination is the only possible receiver.
+    tryDeliver(tx.frame.dst);
+  } else if (indexEnabled_) {
+    // Broadcast with the receiver index: enumerate only nodes that can
+    // possibly be in range (candidates are padded for snapshot drift and
+    // sorted, so decisions and event order match the full scan exactly).
+    for (int v : receiverCandidates(tx.senderPos)) tryDeliver(v);
+  } else {
+    for (std::size_t v = 0; v < macs_.size(); ++v) {
+      tryDeliver(static_cast<int>(v));
+    }
   }
 
   while (!history_.empty() &&

@@ -14,9 +14,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "geometry/point.hpp"
+#include "geometry/spatial_grid.hpp"
 #include "mac/frame.hpp"
 #include "phy/propagation.hpp"
 #include "sim/simulator.hpp"
@@ -44,6 +46,24 @@ class Channel {
 
   /// Registers a MAC endpoint; its id must be dense from 0.
   void attach(Mac* mac);
+
+  /// Enables the spatial receiver index: candidate receivers for a frame are
+  /// looked up in a uniform-grid snapshot of node positions instead of
+  /// scanning every attached MAC. The snapshot is rebuilt lazily every
+  /// `rebuildInterval` sim-seconds and queries are padded by the worst-case
+  /// drift `maxSpeed * rebuildInterval`, so delivery decisions are exactly
+  /// the ones the full scan makes (the pad keeps every possibly-in-range
+  /// node in the candidate set; per-node threshold checks are unchanged).
+  /// Caveat: this assumes positionOf is a pure function of sim time; if it
+  /// integrates state per call (e.g. mobility::RandomWalk), the index's
+  /// different query pattern can shift positions by FP rounding.
+  ///
+  /// `maxRange`: farthest distance at which reception is possible (use
+  /// RadioThresholds::rxRange). `maxSpeed`: upper bound on any node's speed
+  /// in m/s (0 for static topologies). `rebuildInterval`: snapshot lifetime
+  /// in sim-seconds; smaller = fresher snapshots but more O(n) rebuilds.
+  void enableReceiverIndex(double maxRange, double maxSpeed,
+                           double rebuildInterval = 0.5);
 
   /// Begins an on-air transmission of `frame` lasting `duration` seconds.
   void startTransmission(int sender, Frame frame, double duration);
@@ -73,6 +93,10 @@ class Channel {
 
   void finishTransmission(std::uint64_t txId);
   [[nodiscard]] double powerAt(const ActiveTx& tx, geom::Point2 rxPos) const;
+  /// Candidate receiver ids near `center` (ascending). Refreshes the grid
+  /// snapshot if stale. Only called when the receiver index is enabled.
+  [[nodiscard]] const std::vector<int>& receiverCandidates(
+      geom::Point2 center);
 
   sim::Simulator& sim_;
   const phy::PropagationModel& model_;
@@ -85,6 +109,16 @@ class Channel {
   std::uint64_t nextTxId_ = 0;
   std::uint64_t historyBaseId_ = 0;
   ChannelStats stats_;
+
+  // Receiver index state (see enableReceiverIndex).
+  bool indexEnabled_ = false;
+  double indexMaxRange_ = 0.0;
+  double indexSlack_ = 0.0;  // maxSpeed * rebuildInterval
+  double indexRebuildInterval_ = 0.5;
+  sim::SimTime indexBuiltAt_ = -1.0;
+  std::unique_ptr<geom::SpatialGrid> indexGrid_;
+  std::vector<int> indexToMacId_;   // grid point index -> MAC id
+  std::vector<int> candidateScratch_;
 };
 
 }  // namespace glr::mac

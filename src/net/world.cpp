@@ -36,6 +36,11 @@ void World::setAgent(int id, std::unique_ptr<Agent> agent) {
       [raw](const Packet& p, int dst, bool ok) { raw->onTxStatus(p, dst, ok); });
 }
 
+void World::enableSpatialIndex(double maxSpeed, double rebuildInterval) {
+  channel_.enableReceiverIndex(channel_.thresholds().rxRange, maxSpeed,
+                               rebuildInterval);
+}
+
 geom::Point2 World::positionOf(int id) {
   return nodes_.at(static_cast<std::size_t>(id))
       .mobility->positionAt(sim_.now());

@@ -47,6 +47,16 @@ class World {
   /// Installs the routing agent for `id` and wires MAC callbacks to it.
   void setAgent(int id, std::unique_ptr<Agent> agent);
 
+  /// Enables the channel's spatial receiver index (see
+  /// mac::Channel::enableReceiverIndex). `maxSpeed` must upper-bound every
+  /// node's speed in m/s (0 for static topologies). For mobility models
+  /// whose positionAt(t) is a pure function of t (RandomWaypoint, static)
+  /// results are identical to the unindexed channel; models that integrate
+  /// incrementally per query (RandomWalk) can drift by FP rounding because
+  /// the index changes which times get queried. Only the per-frame receiver
+  /// enumeration cost drops from O(n) to O(neighborhood).
+  void enableSpatialIndex(double maxSpeed, double rebuildInterval = 0.5);
+
   /// Current position of node `id` (advances its mobility model).
   [[nodiscard]] geom::Point2 positionOf(int id);
 

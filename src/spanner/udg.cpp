@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <queue>
 #include <stdexcept>
+#include <utility>
+
+#include "geometry/spatial_grid.hpp"
 
 namespace glr::spanner {
 
@@ -12,33 +15,41 @@ graph::Graph buildUnitDiskGraph(const std::vector<geom::Point2>& positions,
     throw std::invalid_argument{"buildUnitDiskGraph: negative radius"};
   }
   graph::Graph g{positions.size()};
-  const double r2 = radius * radius;
-  for (std::size_t i = 0; i < positions.size(); ++i) {
-    for (std::size_t j = i + 1; j < positions.size(); ++j) {
-      if (geom::dist2(positions[i], positions[j]) <= r2) {
-        g.addEdge(static_cast<int>(i), static_cast<int>(j));
-      }
-    }
-  }
+  if (positions.size() < 2) return g;
+
+  // Grid sweep visits only pairs in adjacent cells: O(n * k) for average
+  // degree k instead of the all-pairs O(n^2) scan. Edges are inserted in
+  // sorted order so adjacency lists are identical to the brute-force build
+  // (downstream tie-breaking must not depend on construction order).
+  geom::SpatialGrid grid{positions, radius > 0.0 ? radius : 1.0};
+  std::vector<std::pair<int, int>> edges;
+  grid.forEachPairWithin(radius,
+                         [&edges](int i, int j) { edges.emplace_back(i, j); });
+  std::sort(edges.begin(), edges.end());
+  for (const auto& [i, j] : edges) g.addEdge(i, j);
   return g;
 }
 
 std::vector<int> kHopNeighbors(const graph::Graph& g, int u, int k) {
   if (k < 0) throw std::invalid_argument{"kHopNeighbors: negative k"};
+  if (u < 0 || static_cast<std::size_t>(u) >= g.numNodes()) {
+    throw std::invalid_argument{"kHopNeighbors: node out of range"};
+  }
   std::vector<int> hops(g.numNodes(), -1);
   std::vector<int> out;
   std::queue<int> q;
   hops[u] = 0;
-  q.push(u);
+  if (k > 0) q.push(u);
   while (!q.empty()) {
     const int x = q.front();
     q.pop();
-    if (hops[x] == k) continue;
     for (int v : g.neighbors(x)) {
       if (hops[v] == -1) {
         hops[v] = hops[x] + 1;
         out.push_back(v);
-        q.push(v);
+        // Frontier nodes at depth k are reported but never expanded; keeping
+        // them out of the queue avoids parking the whole depth-k ring there.
+        if (hops[v] < k) q.push(v);
       }
     }
   }

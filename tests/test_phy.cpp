@@ -75,10 +75,10 @@ TEST(Thresholds, BadParamsThrow) {
   const TwoRayGround m;
   RadioParams radio;
   radio.nominalRange = -1.0;
-  EXPECT_THROW(solveThresholds(m, radio), std::invalid_argument);
+  EXPECT_THROW((void)solveThresholds(m, radio), std::invalid_argument);
   radio.nominalRange = 100.0;
   radio.carrierSenseFactor = 0.5;
-  EXPECT_THROW(solveThresholds(m, radio), std::invalid_argument);
+  EXPECT_THROW((void)solveThresholds(m, radio), std::invalid_argument);
 }
 
 TEST(TwoRayGround, NegativeDistanceThrows) {

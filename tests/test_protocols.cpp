@@ -183,7 +183,8 @@ TEST(GlrProtocol, StoresWhenPartitionedAndDeliversAfterHealing) {
   p.copiesOverride = 1;
   std::vector<GlrAgent*> agents;
   for (int i = 0; i < 3; ++i) {
-    auto a = std::make_unique<GlrAgent>(world, i, p, &metrics, Rng{100 + i});
+    auto a = std::make_unique<GlrAgent>(world, i, p, &metrics,
+                                        Rng{static_cast<std::uint64_t>(100 + i)});
     agents.push_back(a.get());
     world.setAgent(i, std::move(a));
   }

@@ -74,9 +74,32 @@ TEST(KHop, PathNeighborhoods) {
   EXPECT_EQ(kHopNeighbors(g, 0, 0), (std::vector<int>{}));
 }
 
+TEST(KHop, DepthOneOnPathGraphEqualsDirectNeighbors) {
+  // Regression for the BFS over-enqueue: nodes at the depth-k frontier used
+  // to be pushed into the queue and only discarded when popped, so k=1 on a
+  // path parked the whole neighborhood there. The k=1 result must be exactly
+  // the adjacency list, from every start node.
+  const std::vector<Point2> pts{{0, 0}, {1, 0}, {2, 0}, {3, 0}, {4, 0},
+                                {5, 0}};
+  const Graph g = buildUnitDiskGraph(pts, 1.0);
+  for (int u = 0; u < 6; ++u) {
+    std::vector<int> direct = g.neighbors(u);
+    std::sort(direct.begin(), direct.end());
+    EXPECT_EQ(kHopNeighbors(g, u, 1), direct) << "u=" << u;
+  }
+  // k beyond the diameter returns everyone else.
+  EXPECT_EQ(kHopNeighbors(g, 0, 100), (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
 TEST(KHop, NegativeKThrows) {
   const Graph g{3};
   EXPECT_THROW((void)kHopNeighbors(g, 0, -1), std::invalid_argument);
+}
+
+TEST(KHop, StartNodeOutOfRangeThrows) {
+  const Graph g{3};
+  EXPECT_THROW((void)kHopNeighbors(g, -1, 1), std::invalid_argument);
+  EXPECT_THROW((void)kHopNeighbors(g, 3, 1), std::invalid_argument);
 }
 
 TEST(Connectivity, ThresholdMatchesPaperCalibration) {
@@ -135,9 +158,9 @@ TEST(Connectivity, ProbabilityIncreasesWithRadius) {
 }
 
 TEST(Connectivity, BadArgumentsThrow) {
-  EXPECT_THROW(connectivityThresholdRadius(50, 1.0, 100, 100),
+  EXPECT_THROW((void)connectivityThresholdRadius(50, 1.0, 100, 100),
                std::invalid_argument);
-  EXPECT_THROW(connectivityThresholdRadius(50, 10.0, 0, 100),
+  EXPECT_THROW((void)connectivityThresholdRadius(50, 10.0, 0, 100),
                std::invalid_argument);
 }
 

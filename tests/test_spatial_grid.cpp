@@ -1,0 +1,182 @@
+// Tests for the uniform-grid spatial index: radius queries and the all-pairs
+// sweep against brute-force references, argument validation, degenerate
+// inputs, and the headline property — buildUnitDiskGraph through the grid
+// produces an edge set identical to the O(n^2) reference on random point
+// sets (10 seeds), so every spanner/scenario built on top is unaffected by
+// the indexing change.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "geometry/spatial_grid.hpp"
+#include "graph/graph.hpp"
+#include "sim/rng.hpp"
+#include "spanner/udg.hpp"
+
+namespace {
+
+using glr::geom::dist2;
+using glr::geom::Point2;
+using glr::geom::SpatialGrid;
+using glr::graph::Graph;
+using glr::spanner::buildUnitDiskGraph;
+
+std::vector<Point2> randomPoints(std::uint64_t seed, int n, double w,
+                                 double h) {
+  glr::sim::Rng rng{seed};
+  std::vector<Point2> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0, w), rng.uniform(0, h)});
+  }
+  return pts;
+}
+
+std::vector<int> bruteQuery(const std::vector<Point2>& pts, Point2 c,
+                            double r) {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (dist2(pts[i], c) <= r * r) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+TEST(SpatialGrid, QueryRadiusMatchesBruteForce) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto pts = randomPoints(seed, 300, 1000, 400);
+    const SpatialGrid grid{pts, 120.0};
+    glr::sim::Rng rng{seed + 100};
+    for (int q = 0; q < 50; ++q) {
+      const Point2 c{rng.uniform(-50, 1050), rng.uniform(-50, 450)};
+      auto got = grid.queryRadius(c, 120.0);
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, bruteQuery(pts, c, 120.0)) << "seed=" << seed;
+    }
+  }
+}
+
+TEST(SpatialGrid, QueryRadiusLargerThanCellSize) {
+  // queryRadius supports any radius; the scanned block just grows.
+  const auto pts = randomPoints(5, 200, 500, 500);
+  const SpatialGrid grid{pts, 50.0};
+  const Point2 c{250, 250};
+  auto got = grid.queryRadius(c, 400.0);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, bruteQuery(pts, c, 400.0));
+}
+
+TEST(SpatialGrid, QueryIsInclusiveAtTheBoundary) {
+  const std::vector<Point2> pts{{0, 0}, {10, 0}, {10.001, 0}};
+  const SpatialGrid grid{pts, 10.0};
+  const auto got = grid.queryRadius({0, 0}, 10.0);
+  EXPECT_EQ(std::set<int>(got.begin(), got.end()), (std::set<int>{0, 1}));
+}
+
+TEST(SpatialGrid, EmptyAndSinglePoint) {
+  const SpatialGrid empty{{}, 10.0};
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_TRUE(empty.queryRadius({0, 0}, 10.0).empty());
+
+  const SpatialGrid one{{{5, 5}}, 10.0};
+  EXPECT_EQ(one.queryRadius({0, 0}, 10.0), (std::vector<int>{0}));
+  EXPECT_TRUE(one.queryRadius({100, 100}, 10.0).empty());
+}
+
+TEST(SpatialGrid, CoincidentPoints) {
+  const std::vector<Point2> pts{{1, 1}, {1, 1}, {1, 1}};
+  const SpatialGrid grid{pts, 1.0};
+  EXPECT_EQ(grid.queryRadius({1, 1}, 0.0).size(), 3u);
+  std::vector<std::pair<int, int>> pairs;
+  grid.forEachPairWithin(0.0, [&](int i, int j) { pairs.emplace_back(i, j); });
+  EXPECT_EQ(pairs.size(), 3u);  // all three coincident pairs
+}
+
+TEST(SpatialGrid, ForEachPairMatchesBruteForceAndVisitsOnce) {
+  for (const std::uint64_t seed : {11u, 12u, 13u}) {
+    const auto pts = randomPoints(seed, 250, 800, 800);
+    const double r = 90.0;
+    const SpatialGrid grid{pts, r};
+
+    using PairSet = std::set<std::pair<int, int>>;
+    PairSet want;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      for (std::size_t j = i + 1; j < pts.size(); ++j) {
+        if (dist2(pts[i], pts[j]) <= r * r) {
+          want.emplace(static_cast<int>(i), static_cast<int>(j));
+        }
+      }
+    }
+
+    std::vector<std::pair<int, int>> got;
+    grid.forEachPairWithin(r, [&](int i, int j) {
+      EXPECT_LT(i, j);
+      got.emplace_back(i, j);
+    });
+    EXPECT_EQ(got.size(), want.size()) << "seed=" << seed;  // no duplicates
+    EXPECT_EQ(PairSet(got.begin(), got.end()), want);
+  }
+}
+
+TEST(SpatialGrid, SparseInputCellCapStaysCorrect) {
+  // Huge extent + tiny radius would want billions of fine cells; the cap
+  // enlarges the cell size instead. Queries must stay exact.
+  std::vector<Point2> pts;
+  glr::sim::Rng rng{99};
+  for (int i = 0; i < 100; ++i) {
+    pts.push_back({rng.uniform(0, 1e7), rng.uniform(0, 1e7)});
+  }
+  const SpatialGrid grid{pts, 1.0};
+  EXPECT_GE(grid.cellSize(), 1.0);
+  for (int i = 0; i < 100; ++i) {
+    auto got = grid.queryRadius(pts[static_cast<std::size_t>(i)], 1.0);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, bruteQuery(pts, pts[static_cast<std::size_t>(i)], 1.0));
+  }
+}
+
+TEST(SpatialGrid, BadArgumentsThrow) {
+  EXPECT_THROW(SpatialGrid({}, 0.0), std::invalid_argument);
+  EXPECT_THROW(SpatialGrid({}, -1.0), std::invalid_argument);
+  const SpatialGrid grid{{{0, 0}}, 10.0};
+  EXPECT_THROW((void)grid.queryRadius({0, 0}, -1.0), std::invalid_argument);
+  EXPECT_THROW(grid.forEachPairWithin(-1.0, [](int, int) {}),
+               std::invalid_argument);
+  EXPECT_THROW(grid.forEachPairWithin(10.5, [](int, int) {}),
+               std::invalid_argument);
+}
+
+// The headline property: UDG built through the grid == brute-force UDG,
+// edge-for-edge and adjacency-order-for-adjacency-order, on 10 random seeds.
+class UdgGridEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(UdgGridEquivalence, IdenticalEdgeSetToBruteForce) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const auto pts = randomPoints(seed, 120, 1500, 300);
+  for (const double r : {50.0, 100.0, 250.0}) {
+    Graph brute{pts.size()};
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      for (std::size_t j = i + 1; j < pts.size(); ++j) {
+        if (dist2(pts[i], pts[j]) <= r * r) {
+          brute.addEdge(static_cast<int>(i), static_cast<int>(j));
+        }
+      }
+    }
+    const Graph grid = buildUnitDiskGraph(pts, r);
+    ASSERT_EQ(grid.numEdges(), brute.numEdges()) << "r=" << r;
+    EXPECT_EQ(grid.edges(), brute.edges()) << "r=" << r;
+    for (std::size_t u = 0; u < pts.size(); ++u) {
+      EXPECT_EQ(grid.neighbors(static_cast<int>(u)),
+                brute.neighbors(static_cast<int>(u)))
+          << "u=" << u << " r=" << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UdgGridEquivalence, ::testing::Range(1, 11));
+
+}  // namespace

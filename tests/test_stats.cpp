@@ -95,7 +95,7 @@ TEST(StudentT, MonotoneDecreasingInDf) {
 }
 
 TEST(StudentT, ZeroDfThrows) {
-  EXPECT_THROW(studentTCritical(0.90, 0), std::invalid_argument);
+  EXPECT_THROW((void)studentTCritical(0.90, 0), std::invalid_argument);
 }
 
 TEST(MeanCI, HandComputedExample) {
