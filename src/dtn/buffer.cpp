@@ -1,6 +1,7 @@
 #include "dtn/buffer.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 namespace glr::dtn {
 
@@ -8,13 +9,43 @@ MessageBuffer::MessageBuffer(std::size_t capacity) : capacity_(capacity) {}
 
 void MessageBuffer::notePeak() { peak_ = std::max(peak_, size()); }
 
+void MessageBuffer::indexStoreInsert(std::list<Message>::iterator it) {
+  // A silent duplicate would desync index and list; every caller filters
+  // duplicates via contains() first, so fail loudly if that ever changes.
+  const bool inserted = storeIndex_.emplace(it->key(), it).second;
+  assert(inserted);
+  (void)inserted;
+  ++branchCount_[it->id];
+}
+
+void MessageBuffer::indexStoreErase(std::list<Message>::iterator it) {
+  storeIndex_.erase(it->key());
+  const auto bc = branchCount_.find(it->id);
+  if (--bc->second == 0) branchCount_.erase(bc);
+}
+
+void MessageBuffer::indexCacheInsert(std::list<CacheEntry>::iterator it) {
+  const bool inserted = cacheIndex_.emplace(it->message.key(), it).second;
+  assert(inserted);
+  (void)inserted;
+  ++branchCount_[it->message.id];
+}
+
+void MessageBuffer::indexCacheErase(std::list<CacheEntry>::iterator it) {
+  cacheIndex_.erase(it->message.key());
+  const auto bc = branchCount_.find(it->message.id);
+  if (--bc->second == 0) branchCount_.erase(bc);
+}
+
 bool MessageBuffer::evictOne() {
   if (!cache_.empty()) {
+    indexCacheErase(cache_.begin());
     cache_.pop_front();
     ++drops_;
     return true;
   }
   if (!store_.empty()) {
+    indexStoreErase(store_.begin());
     store_.pop_front();
     ++drops_;
     return true;
@@ -28,64 +59,66 @@ bool MessageBuffer::addToStore(Message m) {
     if (!evictOne()) return false;  // capacity 0
   }
   store_.push_back(std::move(m));
+  indexStoreInsert(std::prev(store_.end()));
   notePeak();
   return true;
 }
 
 bool MessageBuffer::moveToCache(const CopyKey& key, int nextHop,
                                 sim::SimTime now) {
-  for (auto it = store_.begin(); it != store_.end(); ++it) {
-    if (it->key() == key) {
-      cache_.push_back({std::move(*it), nextHop, now});
-      store_.erase(it);
-      return true;
-    }
-  }
-  return false;
+  const auto idx = storeIndex_.find(key);
+  if (idx == storeIndex_.end()) return false;
+  const auto it = idx->second;
+  indexStoreErase(it);
+  cache_.push_back({std::move(*it), nextHop, now});
+  store_.erase(it);
+  indexCacheInsert(std::prev(cache_.end()));
+  return true;
 }
 
 std::optional<Message> MessageBuffer::removeFromCache(const CopyKey& key) {
-  for (auto it = cache_.begin(); it != cache_.end(); ++it) {
-    if (it->message.key() == key) {
-      Message m = std::move(it->message);
-      cache_.erase(it);
-      return m;
-    }
-  }
-  return std::nullopt;
+  const auto idx = cacheIndex_.find(key);
+  if (idx == cacheIndex_.end()) return std::nullopt;
+  const auto it = idx->second;
+  indexCacheErase(it);
+  Message m = std::move(it->message);
+  cache_.erase(it);
+  return m;
 }
 
 bool MessageBuffer::returnToStore(const CopyKey& key) {
-  for (auto it = cache_.begin(); it != cache_.end(); ++it) {
-    if (it->message.key() == key) {
-      store_.push_back(std::move(it->message));
-      cache_.erase(it);
-      return true;
-    }
-  }
-  return false;
+  const auto idx = cacheIndex_.find(key);
+  if (idx == cacheIndex_.end()) return false;
+  const auto it = idx->second;
+  indexCacheErase(it);
+  store_.push_back(std::move(it->message));
+  cache_.erase(it);
+  indexStoreInsert(std::prev(store_.end()));
+  return true;
 }
 
 bool MessageBuffer::erase(const CopyKey& key) {
-  for (auto it = store_.begin(); it != store_.end(); ++it) {
-    if (it->key() == key) {
-      store_.erase(it);
-      return true;
-    }
+  if (const auto idx = storeIndex_.find(key); idx != storeIndex_.end()) {
+    const auto it = idx->second;
+    indexStoreErase(it);
+    store_.erase(it);
+    return true;
   }
-  for (auto it = cache_.begin(); it != cache_.end(); ++it) {
-    if (it->message.key() == key) {
-      cache_.erase(it);
-      return true;
-    }
+  if (const auto idx = cacheIndex_.find(key); idx != cacheIndex_.end()) {
+    const auto it = idx->second;
+    indexCacheErase(it);
+    cache_.erase(it);
+    return true;
   }
   return false;
 }
 
 std::size_t MessageBuffer::eraseAllBranches(const MessageId& id) {
+  if (branchCount_.find(id) == branchCount_.end()) return 0;
   std::size_t removed = 0;
   for (auto it = store_.begin(); it != store_.end();) {
     if (it->id == id) {
+      indexStoreErase(it);
       it = store_.erase(it);
       ++removed;
     } else {
@@ -94,6 +127,7 @@ std::size_t MessageBuffer::eraseAllBranches(const MessageId& id) {
   }
   for (auto it = cache_.begin(); it != cache_.end();) {
     if (it->message.id == id) {
+      indexCacheErase(it);
       it = cache_.erase(it);
       ++removed;
     } else {
@@ -104,29 +138,20 @@ std::size_t MessageBuffer::eraseAllBranches(const MessageId& id) {
 }
 
 bool MessageBuffer::inStore(const CopyKey& key) const {
-  return std::any_of(store_.begin(), store_.end(),
-                     [&](const Message& m) { return m.key() == key; });
+  return storeIndex_.find(key) != storeIndex_.end();
 }
 
 bool MessageBuffer::inCache(const CopyKey& key) const {
-  return std::any_of(cache_.begin(), cache_.end(), [&](const CacheEntry& e) {
-    return e.message.key() == key;
-  });
+  return cacheIndex_.find(key) != cacheIndex_.end();
 }
 
 bool MessageBuffer::containsAnyBranch(const MessageId& id) const {
-  return std::any_of(store_.begin(), store_.end(),
-                     [&](const Message& m) { return m.id == id; }) ||
-         std::any_of(cache_.begin(), cache_.end(), [&](const CacheEntry& e) {
-           return e.message.id == id;
-         });
+  return branchCount_.find(id) != branchCount_.end();
 }
 
 Message* MessageBuffer::findInStore(const CopyKey& key) {
-  for (Message& m : store_) {
-    if (m.key() == key) return &m;
-  }
-  return nullptr;
+  const auto idx = storeIndex_.find(key);
+  return idx == storeIndex_.end() ? nullptr : &*idx->second;
 }
 
 void MessageBuffer::forEachInStore(
@@ -143,10 +168,9 @@ std::vector<CopyKey> MessageBuffer::storeKeys() const {
 
 std::optional<sim::SimTime> MessageBuffer::cacheEntrySentAt(
     const CopyKey& key) const {
-  for (const CacheEntry& e : cache_) {
-    if (e.message.key() == key) return e.sentAt;
-  }
-  return std::nullopt;
+  const auto idx = cacheIndex_.find(key);
+  if (idx == cacheIndex_.end()) return std::nullopt;
+  return idx->second->sentAt;
 }
 
 std::vector<CopyKey> MessageBuffer::cachedSentBefore(

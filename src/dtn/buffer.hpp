@@ -17,6 +17,7 @@
 #include <functional>
 #include <list>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "dtn/message.hpp"
@@ -64,6 +65,8 @@ class MessageBuffer {
   [[nodiscard]] bool containsAnyBranch(const MessageId& id) const;
 
   /// Mutable access to a stored copy (header updates, face-mode state).
+  /// The identity fields (`id`, `flag`) must not be changed through this
+  /// pointer — the O(1) key index assumes they are immutable while stored.
   [[nodiscard]] Message* findInStore(const CopyKey& key);
 
   /// Applies `fn` to every stored message (e.g. clearing retry backoff when
@@ -103,9 +106,22 @@ class MessageBuffer {
   /// Evicts one message per the paper's policy; false if nothing evictable.
   bool evictOne();
 
+  /// Index maintenance. The lists stay the source of truth (their FIFO order
+  /// drives eviction and iteration determinism); the maps only make key
+  /// lookups O(1). std::list iterators are stable, so indexed iterators
+  /// survive unrelated insertions/erasures.
+  void indexStoreInsert(std::list<Message>::iterator it);
+  void indexStoreErase(std::list<Message>::iterator it);
+  void indexCacheInsert(std::list<CacheEntry>::iterator it);
+  void indexCacheErase(std::list<CacheEntry>::iterator it);
+
   std::size_t capacity_;
   std::list<Message> store_;       // FIFO: front = oldest
   std::list<CacheEntry> cache_;    // FIFO: front = oldest
+  std::unordered_map<CopyKey, std::list<Message>::iterator> storeIndex_;
+  std::unordered_map<CopyKey, std::list<CacheEntry>::iterator> cacheIndex_;
+  /// Copies held per message id across both areas (any-branch queries).
+  std::unordered_map<MessageId, std::uint32_t> branchCount_;
   std::size_t peak_ = 0;
   std::uint64_t drops_ = 0;
 };

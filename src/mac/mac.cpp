@@ -154,19 +154,22 @@ void Mac::onFrameReceived(const Frame& frame) {
   // DATA frame.
   const bool unicastToMe = frame.dst == self_;
   if (unicastToMe) {
-    // Reply with an ACK after SIFS (ACKs skip contention by design).
-    Frame ack;
-    ack.type = Frame::Type::kAck;
-    ack.src = self_;
-    ack.dst = frame.src;
-    ack.seq = frame.seq;
-    ack.bytes = params_.ackBytes;
+    // Reply with an ACK after SIFS (ACKs skip contention by design). The
+    // lambda captures only the scalars and builds the Frame when it fires so
+    // the closure stays inside the kernel's inline-callback budget.
     const double ackDur = frameDuration(params_.ackBytes);
-    sim_.schedule(params_.sifs, [this, ack, ackDur] {
+    sim_.schedule(params_.sifs, [this, dst = frame.src, seq = frame.seq,
+                                 ackDur] {
+      Frame ack;
+      ack.type = Frame::Type::kAck;
+      ack.src = self_;
+      ack.dst = dst;
+      ack.seq = seq;
+      ack.bytes = params_.ackBytes;
       recentTx_.emplace_back(sim_.now(), sim_.now() + ackDur);
       if (recentTx_.size() > 16) recentTx_.pop_front();
       ++stats_.ackTx;
-      channel_.startTransmission(self_, ack, ackDur);
+      channel_.startTransmission(self_, std::move(ack), ackDur);
     });
   } else if (frame.dst != net::kBroadcast) {
     return;  // unicast for someone else

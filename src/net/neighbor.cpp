@@ -39,6 +39,7 @@ void NeighborService::sendHello() {
   hello.sentAt = sim_.now();
   std::size_t bytes = params_.baseBytes;
   if (params_.includeNeighborList) {
+    hello.neighbors.reserve(table_.size());
     for (const auto& [id, rec] : table_) {
       if (!fresh(rec)) continue;
       hello.neighbors.push_back({id, rec.pos, rec.heard});
@@ -82,6 +83,7 @@ bool NeighborService::handlePacket(const Packet& packet, int /*fromMac*/) {
 
 std::vector<int> NeighborService::currentNeighbors() const {
   std::vector<int> out;
+  out.reserve(table_.size());
   for (const auto& [id, rec] : table_) {
     if (fresh(rec)) out.push_back(id);
   }
@@ -103,6 +105,10 @@ std::optional<geom::Point2> NeighborService::neighborPosition(int id) const {
 std::vector<spanner::KnownNode> NeighborService::knowledge() const {
   std::vector<spanner::KnownNode> out;
   std::unordered_map<int, std::pair<std::size_t, sim::SimTime>> best;
+  // Called once per route check per node: size for one-hop entries plus a
+  // typical two-hop fan-out up front so the hot loop never rehashes.
+  out.reserve(table_.size() * 4);
+  best.reserve(table_.size() * 4);
 
   for (const auto& [id, rec] : table_) {
     if (!fresh(rec)) continue;

@@ -1,0 +1,176 @@
+#pragma once
+/// \file inplace_function.hpp
+/// Small-buffer-optimized move-only callable, the kernel's replacement for
+/// `std::function`.
+///
+/// Every event callback in the hot path (MAC backoff/ACK timers, channel
+/// transmission ends, hello beacons, GLR custody/cache timeouts) is a lambda
+/// capturing `this` plus a few scalars, well under `kSimCallbackCapacity`
+/// bytes; those are stored inline in the event slab so scheduling allocates
+/// nothing. Oversized callables still work — they fall back to one heap
+/// allocation — but `InplaceFunction::kFitsInline<F>` lets tests
+/// `static_assert` that the callbacks the simulation actually schedules never
+/// take that path.
+
+#include <cstddef>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace glr::sim {
+
+/// Inline capture budget for simulator callbacks. Sized for the largest
+/// lambda the protocol stack schedules (`[this, key, sentAt]`-style custody
+/// timers) with headroom; see the static_asserts in tests/test_sim.cpp.
+inline constexpr std::size_t kSimCallbackCapacity = 48;
+
+template <class Signature, std::size_t Capacity = kSimCallbackCapacity>
+class InplaceFunction;  // undefined; specialized for function signatures
+
+template <class R, class... Args, std::size_t Capacity>
+class InplaceFunction<R(Args...), Capacity> {
+ public:
+  /// True when `F` is stored in the inline buffer (no heap allocation).
+  template <class F>
+  static constexpr bool kFitsInline =
+      sizeof(F) <= Capacity && alignof(F) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  InplaceFunction() noexcept = default;
+  InplaceFunction(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+
+  template <class F, class D = std::decay_t<F>,
+            class = std::enable_if_t<
+                !std::is_same_v<D, InplaceFunction> &&
+                !std::is_same_v<D, std::nullptr_t> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  InplaceFunction(F&& f) {  // NOLINT(runtime/explicit) — drop-in for std::function
+    if constexpr (kTrivialInline<D>) {
+      // Fast path for the kernel's dominant case: a lambda over `this` and
+      // scalars relocates with a fixed-size copy and needs no destructor, so
+      // moving/destroying events costs no indirect calls at all.
+      ::new (buffer()) D(std::forward<F>(f));
+      vtable_ = &kTrivialVTable<D>;
+    } else if constexpr (kFitsInline<D>) {
+      ::new (buffer()) D(std::forward<F>(f));
+      vtable_ = &kInlineVTable<D>;
+    } else {
+      ::new (buffer()) D*(new D(std::forward<F>(f)));
+      vtable_ = &kHeapVTable<D>;
+    }
+  }
+
+  InplaceFunction(InplaceFunction&& other) noexcept { moveFrom(other); }
+
+  InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      moveFrom(other);
+    }
+    return *this;
+  }
+
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+
+  ~InplaceFunction() { reset(); }
+
+  /// Destroys the held callable (if any); leaves the function empty.
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      if (vtable_->destroy != nullptr) vtable_->destroy(buffer());
+      vtable_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return vtable_ != nullptr;
+  }
+
+  R operator()(Args... args) {
+    return vtable_->invoke(buffer(), std::forward<Args>(args)...);
+  }
+
+ private:
+  /// Trivially-copyable inline callables take the no-indirect-call path.
+  template <class D>
+  static constexpr bool kTrivialInline =
+      kFitsInline<D> && std::is_trivially_copyable_v<D> &&
+      std::is_trivially_destructible_v<D>;
+
+  struct VTable {
+    R (*invoke)(void*, Args&&...);
+    /// Move-constructs the callable from `from` into `to`, then destroys the
+    /// source; both point at inline buffers. Null means "memcpy trivialSize
+    /// bytes" (trivially-relocatable callable).
+    void (*relocate)(void* from, void* to) noexcept;
+    /// Null means trivially destructible: nothing to do.
+    void (*destroy)(void*) noexcept;
+    /// Callable byte size for the memcpy relocation path; 0 otherwise.
+    std::size_t trivialSize;
+  };
+
+  template <class D>
+  static constexpr VTable kTrivialVTable{
+      [](void* p, Args&&... args) -> R {
+        return std::invoke(*static_cast<D*>(p), std::forward<Args>(args)...);
+      },
+      nullptr,
+      nullptr,
+      // Captureless callables carry no state; copying their (uninitialized)
+      // placeholder byte would be read-of-indeterminate noise.
+      std::is_empty_v<D> ? 0 : sizeof(D),
+  };
+
+  template <class D>
+  static constexpr VTable kInlineVTable{
+      [](void* p, Args&&... args) -> R {
+        return std::invoke(*static_cast<D*>(p), std::forward<Args>(args)...);
+      },
+      [](void* from, void* to) noexcept {
+        D* src = static_cast<D*>(from);
+        ::new (to) D(std::move(*src));
+        src->~D();
+      },
+      [](void* p) noexcept { static_cast<D*>(p)->~D(); },
+      0,
+  };
+
+  template <class D>
+  static constexpr VTable kHeapVTable{
+      [](void* p, Args&&... args) -> R {
+        return std::invoke(**static_cast<D**>(p), std::forward<Args>(args)...);
+      },
+      [](void* from, void* to) noexcept {
+        // The payload stays put on the heap; only the pointer relocates.
+        ::new (to) D*(*static_cast<D**>(from));
+      },
+      [](void* p) noexcept { delete *static_cast<D**>(p); },
+      0,
+  };
+
+  void moveFrom(InplaceFunction& other) noexcept {
+    if (other.vtable_ != nullptr) {
+      if (other.vtable_->relocate != nullptr) {
+        other.vtable_->relocate(other.buffer(), buffer());
+      } else {
+        std::memcpy(buffer(), other.buffer(), other.vtable_->trivialSize);
+      }
+      vtable_ = other.vtable_;
+      other.vtable_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] void* buffer() noexcept { return storage_; }
+
+  static_assert(Capacity >= sizeof(void*),
+                "capacity must hold at least the heap-fallback pointer");
+
+  alignas(std::max_align_t) std::byte storage_[Capacity];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace glr::sim

@@ -5,65 +5,175 @@
 
 namespace glr::sim {
 
-EventHandle Simulator::scheduleAt(SimTime t, Callback fn) {
-  if (t < now_) {
-    throw std::invalid_argument{"Simulator::scheduleAt: time is in the past"};
+void Simulator::heapPopTop() {
+  const HeapKey last = heapKeys_.back();
+  const HeapAux lastAux = heapAux_.back();
+  heapKeys_.pop_back();
+  heapAux_.pop_back();
+  const std::size_t n = heapKeys_.size();
+  if (n == 0) return;
+  // Bottom-up deletion (Wegener): descend the min-child path all the way to
+  // a leaf — the replacement comes from the back of the heap, so it nearly
+  // always belongs at the bottom and comparing it against every level on the
+  // way down is wasted work — then bubble it up from the leaf hole, which
+  // almost always stops immediately. Min-child selection is a two-round
+  // tournament of conditional moves: the outcomes are data-random, so
+  // branching on them would mispredict half the time. Only the 16-byte key
+  // array is touched per comparison; the next level's children are
+  // prefetched as soon as their index is known (the heap outgrows L2 in
+  // large scenarios, and the sift is otherwise a serial chain of dependent
+  // loads).
+  std::size_t i = 0;
+  for (;;) {
+    static_assert(kHeapArity == 4, "min-child tournament is unrolled for 4");
+    const std::size_t firstChild = i * kHeapArity + 1;
+    if (firstChild + kHeapArity <= n) {
+      const HeapKey* ch = &heapKeys_[firstChild];
+      const std::size_t a = earlier(ch[1], ch[0]) ? firstChild + 1 : firstChild;
+      const std::size_t b =
+          earlier(ch[3], ch[2]) ? firstChild + 3 : firstChild + 2;
+      const std::size_t best = earlier(heapKeys_[b], heapKeys_[a]) ? b : a;
+#if defined(__GNUC__) || defined(__clang__)
+      const std::size_t next = best * kHeapArity + 1;
+      if (next < n) __builtin_prefetch(heapKeys_.data() + next);
+#endif
+      heapKeys_[i] = heapKeys_[best];
+      heapAux_[i] = heapAux_[best];
+      i = best;
+    } else if (firstChild < n) {
+      std::size_t best = firstChild;
+      for (std::size_t c = firstChild + 1; c < n; ++c) {
+        best = earlier(heapKeys_[c], heapKeys_[best]) ? c : best;
+      }
+      heapKeys_[i] = heapKeys_[best];
+      heapAux_[i] = heapAux_[best];
+      i = best;
+    } else {
+      break;
+    }
   }
-  if (!fn) {
-    throw std::invalid_argument{"Simulator::scheduleAt: empty callback"};
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kHeapArity;
+    if (!earlier(last, heapKeys_[parent])) break;
+    heapKeys_[i] = heapKeys_[parent];
+    heapAux_[i] = heapAux_[parent];
+    i = parent;
   }
-  Event ev;
-  ev.time = t;
-  ev.seq = nextSeq_++;
-  ev.fn = std::move(fn);
-  ev.alive = std::make_shared<bool>(true);
-  EventHandle handle{std::weak_ptr<bool>{ev.alive}};
-  queue_.push(std::move(ev));
-  return handle;
+  heapKeys_[i] = last;
+  heapAux_[i] = lastAux;
 }
 
-void Simulator::skipCancelled() {
-  while (!queue_.empty() && !*queue_.top().alive) queue_.pop();
+void Simulator::siftDownHole(std::size_t i, HeapKey key, HeapAux aux) {
+  const std::size_t n = heapKeys_.size();
+  for (;;) {
+    const std::size_t firstChild = i * kHeapArity + 1;
+    if (firstChild >= n) break;
+    const std::size_t lastChild = std::min(firstChild + kHeapArity, n);
+    std::size_t best = firstChild;
+    for (std::size_t c = firstChild + 1; c < lastChild; ++c) {
+      best = earlier(heapKeys_[c], heapKeys_[best]) ? c : best;
+    }
+    if (!earlier(heapKeys_[best], key)) break;
+    heapKeys_[i] = heapKeys_[best];
+    heapAux_[i] = heapAux_[best];
+    i = best;
+  }
+  heapKeys_[i] = key;
+  heapAux_[i] = aux;
+}
+
+void Simulator::skipStale() {
+  while (!heapKeys_.empty() && stale(heapAux_.front())) {
+    heapPopTop();
+    --staleCount_;
+  }
+}
+
+void Simulator::compactHeap() {
+  const std::size_t n = heapKeys_.size();
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    if (!stale(heapAux_[r])) {
+      heapKeys_[w] = heapKeys_[r];
+      heapAux_[w] = heapAux_[r];
+      ++w;
+    }
+  }
+  heapKeys_.resize(w);
+  heapAux_.resize(w);
+  staleCount_ = 0;
+  if (w < 2) return;
+  // Floyd heapify over the surviving records: O(n), and the filter pass
+  // above kept them in heap-ish order so most holes stop immediately.
+  for (std::size_t i = (w - 2) / kHeapArity + 1; i-- > 0;) {
+    siftDownHole(i, heapKeys_[i], heapAux_[i]);
+  }
 }
 
 bool Simulator::hasPending() {
-  skipCancelled();
-  return !queue_.empty();
+  skipStale();
+  return !heapKeys_.empty();
+}
+
+void Simulator::reserve(std::size_t events) {
+  slab_.reserve(events);
+  heapKeys_.reserve(events);
+  heapAux_.reserve(events);
+}
+
+std::uint64_t Simulator::fireTop() {
+  // One peek serves the stale check, the callback fetch, and the clock
+  // bump: the slot's cacheline is loaded exactly once per event.
+  const HeapAux aux = heapAux_.front();
+  Slot& s = slab_[aux.slot];
+  if (s.generation != aux.generation) {
+    heapPopTop();
+    --staleCount_;
+    return 0;
+  }
+  now_ = bitsToTime(heapKeys_.front().timeBits);
+  heapPopTop();
+  // Move the callback out and free the slot *before* invoking: the callback
+  // may schedule new events (reusing this very slot) and late cancels on it
+  // must already be no-ops. `s` stays valid — only the callback can grow
+  // the slab, and it has not run yet.
+  Callback fn = std::move(s.fn);
+  releaseSlot(aux.slot);
+  fn();
+  ++executed_;
+  return 1;
 }
 
 std::uint64_t Simulator::run(SimTime until) {
   stopped_ = false;
-  std::uint64_t ran = 0;
-  for (;;) {
-    skipCancelled();
-    if (queue_.empty() || stopped_) break;
-    if (queue_.top().time > until) break;
-    // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-    // so copy the small fields and move the callback by re-wrapping.
-    Event ev = queue_.top();
-    queue_.pop();
-    now_ = ev.time;
-    *ev.alive = false;  // mark fired so late cancel() calls are no-ops
-    ev.fn();
-    ++ran;
-    ++executed_;
+  // Pending events all have time >= now_, so nothing can fire — and the
+  // bit-pattern horizon compare below assumes a non-negative `until`, which
+  // this guard also establishes (matching the legacy kernel, which only
+  // shed cancelled heads in this case).
+  if (until < now_) {
+    skipStale();
+    return 0;
   }
-  if (queue_.empty() && now_ < until && until < kForever) now_ = until;
+  std::uint64_t ran = 0;
+  const std::uint64_t untilBits = timeToBits(until);
+  while (!heapKeys_.empty() && !stopped_) {
+    if (heapKeys_.front().timeBits > untilBits && !stale(heapAux_.front())) {
+      break;
+    }
+    ran += fireTop();
+  }
+  // The old kernel skipped cancelled heads before observing stop(), so a
+  // queue holding only dead records still counted as drained.
+  if (stopped_) skipStale();
+  if (heapKeys_.empty() && now_ < until && until < kForever) now_ = until;
   return ran;
 }
 
 std::uint64_t Simulator::step(std::uint64_t n) {
+  stopped_ = false;
   std::uint64_t ran = 0;
-  while (ran < n) {
-    skipCancelled();
-    if (queue_.empty()) break;
-    Event ev = queue_.top();
-    queue_.pop();
-    now_ = ev.time;
-    *ev.alive = false;
-    ev.fn();
-    ++ran;
-    ++executed_;
+  while (ran < n && !heapKeys_.empty() && !stopped_) {
+    ran += fireTop();
   }
   return ran;
 }

@@ -7,51 +7,78 @@
 /// insertion order so runs are fully deterministic. Scheduled events can be
 /// cancelled through the returned `EventHandle` (used heavily by MAC timers
 /// and DTN cache timeouts).
+///
+/// The kernel is allocation-free on the hot path: callbacks live in a
+/// free-listed slab of slots (`InplaceFunction` keeps captures inline), the
+/// priority queue is an intrusive 4-ary heap of small `{time, seq, slot,
+/// generation}` records, and cancellation is an O(1) generation bump with
+/// lazy heap removal — no `shared_ptr` flags, no `std::function`, and no
+/// event copies on pop. Once the slab and heap vectors have grown to the
+/// scenario's working set, scheduling, cancelling, and firing events touch
+/// the allocator only for the rare callback larger than
+/// `kSimCallbackCapacity` bytes.
 
+#include <bit>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
+#include <stdexcept>
+#include <utility>
 #include <vector>
+
+#include "sim/inplace_function.hpp"
 
 namespace glr::sim {
 
 /// Simulation time in seconds.
 using SimTime = double;
 
-/// Cancellation token for a scheduled event. Default-constructed handles are
-/// inert; `cancel()` on an already-fired event is a no-op.
+class Simulator;
+
+/// Cancellation token for a scheduled event: a trivially-copyable
+/// `{slot, generation}` pair into the owning simulator's slab. Default-
+/// constructed handles are inert; `cancel()` on an already-fired event is a
+/// no-op, and a handle whose slot has been reused by a newer event is inert
+/// too (the generation no longer matches). Handles must not outlive their
+/// simulator — the same lifetime rule as the `Simulator&` every agent holds.
 class EventHandle {
  public:
   EventHandle() = default;
 
   /// Prevents the event from firing. Safe to call repeatedly.
-  void cancel() {
-    if (auto p = alive_.lock()) *p = false;
-  }
+  void cancel();
 
   /// True if the event is still scheduled and will fire.
-  [[nodiscard]] bool pending() const {
-    auto p = alive_.lock();
-    return p && *p;
-  }
+  [[nodiscard]] bool pending() const;
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::weak_ptr<bool> alive) : alive_(std::move(alive)) {}
-  std::weak_ptr<bool> alive_;
+  EventHandle(Simulator* sim, std::uint32_t slot,
+              std::uint32_t generation) noexcept
+      : sim_(sim), slot_(slot), generation_(generation) {}
+
+  Simulator* sim_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;
 };
 
-/// Deterministic discrete-event scheduler.
+/// Deterministic discrete-event scheduler. Neither copyable nor movable:
+/// every EventHandle holds a pointer back to its simulator, so the object
+/// must stay put for the handles' lifetime (agents hold `Simulator&`
+/// references under the same rule).
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  using Callback = InplaceFunction<void(), kSimCallbackCapacity>;
 
   /// Current simulation time (seconds).
   [[nodiscard]] SimTime now() const { return now_; }
 
   /// Schedules `fn` to run at absolute time `t` (>= now). Returns a handle
-  /// that can cancel the event.
+  /// that can cancel the event. Defined inline below: scheduling runs once
+  /// per event on the hot path and must not cost a cross-TU call.
   EventHandle scheduleAt(SimTime t, Callback fn);
 
   /// Schedules `fn` to run `delay` seconds from now (delay >= 0).
@@ -65,44 +92,195 @@ class Simulator {
   std::uint64_t run(SimTime until = kForever);
 
   /// Executes at most `n` events (ignoring cancelled ones); used in tests.
+  /// Like `run()`, returns early if an event calls `stop()`.
   std::uint64_t step(std::uint64_t n = 1);
 
-  /// Requests `run()` to return after the current event completes.
+  /// Requests `run()` (or `step()`) to return after the current event
+  /// completes.
   void stop() { stopped_ = true; }
 
   /// Total events executed over the simulator's lifetime.
   [[nodiscard]] std::uint64_t eventsExecuted() const { return executed_; }
 
   /// Events currently queued (including cancelled-but-not-popped ones).
-  [[nodiscard]] std::size_t queueSize() const { return queue_.size(); }
+  [[nodiscard]] std::size_t queueSize() const { return heapKeys_.size(); }
 
   /// Whether there is at least one non-cancelled event pending.
   [[nodiscard]] bool hasPending();
 
+  /// Pre-sizes the slab and heap for `events` concurrently-pending events so
+  /// even the first scheduling burst never reallocates.
+  void reserve(std::size_t events);
+
   static constexpr SimTime kForever = 1e300;
 
  private:
-  struct Event {
-    SimTime time = 0;
-    std::uint64_t seq = 0;
+  friend class EventHandle;
+
+  static constexpr std::uint32_t kNilSlot = 0xFFFFFFFFu;
+  static constexpr std::size_t kHeapArity = 4;
+
+  /// Slab cell. An armed slot holds the callback; a free slot links the
+  /// free list. The generation counter is bumped whenever the slot's event
+  /// fires or is cancelled, instantly invalidating stale handles and stale
+  /// heap records. Cacheline-aligned: callback + metadata are exactly one
+  /// line, so arming/firing a slot touches a single line of the slab.
+  struct alignas(64) Slot {
     Callback fn;
-    std::shared_ptr<bool> alive;
+    std::uint32_t generation = 0;
+    std::uint32_t nextFree = kNilSlot;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
+
+  /// What the heap orders, split structure-of-arrays style: the sift loops
+  /// touch only the 16-byte key array (4 children span at most two cache
+  /// lines instead of three), while the {slot, generation} payload rides in
+  /// a parallel array. Pops move small records, never closures. Time is
+  /// stored as its IEEE-754 bit pattern: sim times are non-negative, and
+  /// non-negative doubles order identically to their bit patterns, so the
+  /// comparator is pure integer work (no NaN/denormal edge cases in the hot
+  /// loop) while breaking ties by insertion order exactly like the old
+  /// (time, seq) comparator.
+  struct HeapKey {
+    std::uint64_t timeBits;
+    std::uint64_t seq;
+  };
+  struct HeapAux {
+    std::uint32_t slot;
+    std::uint32_t generation;
+  };
+
+  static std::uint64_t timeToBits(SimTime t) {
+    // +0.0 canonicalizes -0.0 (whose bit pattern would misorder).
+    return std::bit_cast<std::uint64_t>(t + 0.0);
+  }
+
+  static SimTime bitsToTime(std::uint64_t bits) {
+    return std::bit_cast<SimTime>(bits);
+  }
+
+  static bool earlier(const HeapKey& a, const HeapKey& b) {
+    // Distinct times dominate and the equality branch predicts ~always
+    // taken; the data-random outcome below it compiles to setcc/cmov.
+    if (a.timeBits != b.timeBits) return a.timeBits < b.timeBits;
+    return a.seq < b.seq;
+  }
+
+  [[nodiscard]] bool stale(const HeapAux& a) const {
+    return slab_[a.slot].generation != a.generation;
+  }
+
+  void heapPush(HeapKey key, HeapAux aux);
+  void heapPopTop();
+  /// Sinks the record in the hole at `i` to its place, assuming children of
+  /// `i` may violate the heap property with respect to (key, aux).
+  void siftDownHole(std::size_t i, HeapKey key, HeapAux aux);
+  /// Discards records for cancelled/fired events at the head of the heap.
+  void skipStale();
+  /// Removes every stale record in one O(n) filter + Floyd heapify pass.
+  /// Cancellation is lazy (records of cancelled events stay in the heap
+  /// until popped), so a cancel-heavy phase — e.g. MAC ACK timers, which
+  /// are cancelled on every successful delivery — would otherwise pay a
+  /// full-depth sift per dead record and keep the heap artificially deep.
+  /// The generation check makes dead records detectable in O(1), which is
+  /// what makes this sweep possible at all.
+  void compactHeap();
+
+  std::uint32_t acquireSlot() {
+    if (freeHead_ != kNilSlot) {
+      const std::uint32_t slot = freeHead_;
+      freeHead_ = slab_[slot].nextFree;
+      return slot;
     }
-  };
+    const auto slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.emplace_back();
+    return slot;
+  }
 
-  /// Discards cancelled events at the head of the queue.
-  void skipCancelled();
+  /// Destroys the slot's callback, bumps its generation, and returns it to
+  /// the free list.
+  void releaseSlot(std::uint32_t slot) {
+    Slot& s = slab_[slot];
+    s.fn.reset();
+    ++s.generation;  // stale handles and heap records become inert here
+    s.nextFree = freeHead_;
+    freeHead_ = slot;
+  }
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  /// Fires the head event (returns 1), or pops it without firing and
+  /// returns 0 if its record is stale (cancelled event).
+  std::uint64_t fireTop();
+
+  bool cancelEvent(std::uint32_t slot, std::uint32_t generation) {
+    if (!eventPending(slot, generation)) return false;
+    // The heap record is left in place; pops discard it once its generation
+    // no longer matches the slot's, and a compaction sweep reclaims them in
+    // bulk when they pile up.
+    releaseSlot(slot);
+    ++staleCount_;
+    if (staleCount_ > kCompactMinStale &&
+        staleCount_ * 2 > heapKeys_.size()) {
+      compactHeap();
+    }
+    return true;
+  }
+
+  /// Compaction threshold: don't bother sweeping tiny heaps.
+  static constexpr std::size_t kCompactMinStale = 64;
+  [[nodiscard]] bool eventPending(std::uint32_t slot,
+                                  std::uint32_t generation) const {
+    return slot < slab_.size() && slab_[slot].generation == generation;
+  }
+
+  std::vector<Slot> slab_;
+  std::uint32_t freeHead_ = kNilSlot;
+  std::vector<HeapKey> heapKeys_;
+  std::vector<HeapAux> heapAux_;
+  /// Heap records whose event was cancelled (fired events pop immediately,
+  /// cancelled ones linger); drives the compaction heuristic.
+  std::size_t staleCount_ = 0;
   SimTime now_ = 0;
   std::uint64_t nextSeq_ = 0;
   std::uint64_t executed_ = 0;
   bool stopped_ = false;
 };
+
+inline void EventHandle::cancel() {
+  if (sim_ != nullptr) sim_->cancelEvent(slot_, generation_);
+}
+
+inline bool EventHandle::pending() const {
+  return sim_ != nullptr && sim_->eventPending(slot_, generation_);
+}
+
+inline EventHandle Simulator::scheduleAt(SimTime t, Callback fn) {
+  if (t < now_) {
+    throw std::invalid_argument{"Simulator::scheduleAt: time is in the past"};
+  }
+  if (!fn) {
+    throw std::invalid_argument{"Simulator::scheduleAt: empty callback"};
+  }
+  const std::uint32_t slot = acquireSlot();
+  Slot& s = slab_[slot];
+  s.fn = std::move(fn);
+  heapPush({timeToBits(t), nextSeq_++}, {slot, s.generation});
+  return EventHandle{this, slot, s.generation};
+}
+
+inline void Simulator::heapPush(HeapKey key, HeapAux aux) {
+  // Hole insertion: shift parents down into the hole and place the record
+  // once, instead of swap chains (one store per level, not three).
+  std::size_t i = heapKeys_.size();
+  heapKeys_.push_back(key);
+  heapAux_.push_back(aux);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kHeapArity;
+    if (!earlier(key, heapKeys_[parent])) break;
+    heapKeys_[i] = heapKeys_[parent];
+    heapAux_[i] = heapAux_[parent];
+    i = parent;
+  }
+  heapKeys_[i] = key;
+  heapAux_[i] = aux;
+}
 
 }  // namespace glr::sim
