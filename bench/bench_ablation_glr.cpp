@@ -45,17 +45,23 @@ int main() {
        [](ScenarioConfig& c) { c.protocol = Protocol::kSprayAndWait; }},
   };
 
+  std::vector<ScenarioConfig> grid;
+  for (const Row& row : rows) {
+    ScenarioConfig cfg = benchConfig(Protocol::kGlr, 100.0);
+    row.tweak(cfg);
+    grid.push_back(cfg);
+  }
+  const std::vector<Agg> aggs = sweepAgg(grid, runs, "ablation");
+
   std::printf(
       "\nvariant               | ratio  | latency (s)   | hops        | avg "
       "peak storage\n");
   std::printf(
       "----------------------+--------+---------------+-------------+--------"
       "---------\n");
-  for (const Row& row : rows) {
-    ScenarioConfig cfg = benchConfig(Protocol::kGlr, 100.0);
-    row.tweak(cfg);
-    const Agg a = runAgg(cfg, runs);
-    std::printf("%s | %-6s | %-13s | %-11s | %s\n", row.name.c_str(),
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Agg& a = aggs[i];
+    std::printf("%s | %-6s | %-13s | %-11s | %s\n", rows[i].name.c_str(),
                 fmtPct(a.ratio.mean).c_str(), fmtCI(a.latency, 1).c_str(),
                 fmtCI(a.hops, 1).c_str(), fmtCI(a.avgPeak, 1).c_str());
   }

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "experiment/runner.hpp"
 #include "experiment/scenario.hpp"
 #include "experiment/tables.hpp"
 #include "stats/summary.hpp"
@@ -61,6 +62,24 @@ inline Agg runAgg(const ScenarioConfig& cfg, int runs) {
   return aggregate(runScenarioSeeds(cfg, runs));
 }
 
+/// Declarative sweep: a bench lists every row's config up front, the
+/// engine executes the whole (grid x seeds) cell set across
+/// GLR_BENCH_THREADS workers, and the Aggs come back in grid order — one
+/// per config, aggregated post-join from index-ordered results so the
+/// printed `mean ± CI` is bit-identical to the old hand-rolled serial
+/// loops at any thread count.
+inline std::vector<Agg> sweepAgg(const std::vector<ScenarioConfig>& grid,
+                                 int runs, const char* label = "sweep") {
+  experiment::SweepRunner::Options opts;  // default thread count; the
+  opts.progress = true;                   // runner caps workers at the
+  opts.label = label;                     // cell count itself
+  experiment::SweepRunner runner{opts};
+  std::vector<Agg> out;
+  out.reserve(grid.size());
+  for (const auto& rs : runner.run(grid, runs)) out.push_back(aggregate(rs));
+  return out;
+}
+
 /// Paper Table 1 defaults, scaled down unless GLR_PAPER_SCALE=1.
 inline ScenarioConfig benchConfig(Protocol p, double radius) {
   ScenarioConfig cfg;
@@ -82,8 +101,11 @@ inline void banner(const char* title, const char* paperRef) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", title);
   std::printf("Paper reference: %s\n", paperRef);
-  std::printf("Scale: %s (GLR_PAPER_SCALE=1 for full scale), %d seed(s)\n",
-              paperScale() ? "paper" : "reduced", defaultRuns());
+  std::printf("Scale: %s (GLR_PAPER_SCALE=1 for full scale), %d seed(s), "
+              "up to %u thread(s) (GLR_BENCH_THREADS; capped at the cell "
+              "count)\n",
+              paperScale() ? "paper" : "reduced", defaultRuns(),
+              experiment::ThreadPool::defaultThreads());
   std::printf("================================================================\n");
 }
 

@@ -14,15 +14,21 @@ int main() {
   banner("Figure 3: GLR latency vs route check interval (100 m)",
          "paper curve rises from ~19 s at 0.6 s to ~24 s at 1.6 s");
 
-  const int runs = defaultRuns();
-  std::printf("\ncheck interval | delivery ratio | avg latency (s)\n");
-  std::printf("---------------+----------------+----------------\n");
-  for (const double interval : {0.6, 0.8, 0.9, 1.2, 1.4, 1.6}) {
+  const std::vector<double> intervals = {0.6, 0.8, 0.9, 1.2, 1.4, 1.6};
+  std::vector<ScenarioConfig> grid;
+  for (const double interval : intervals) {
     ScenarioConfig cfg = benchConfig(Protocol::kGlr, 100.0);
     cfg.checkInterval = interval;
-    const Agg a = runAgg(cfg, runs);
-    std::printf("       %.1f s   | %-14s | %s\n", interval,
-                fmtPct(a.ratio.mean).c_str(), fmtCI(a.latency, 1).c_str());
+    grid.push_back(cfg);
+  }
+  const std::vector<Agg> aggs = sweepAgg(grid, defaultRuns(), "fig3");
+
+  std::printf("\ncheck interval | delivery ratio | avg latency (s)\n");
+  std::printf("---------------+----------------+----------------\n");
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    std::printf("       %.1f s   | %-14s | %s\n", intervals[i],
+                fmtPct(aggs[i].ratio.mean).c_str(),
+                fmtCI(aggs[i].latency, 1).c_str());
   }
   std::printf(
       "\nExpected shape: latency grows with the interval (paper Figure 3).\n");

@@ -13,24 +13,30 @@ int main() {
   banner("Figure 5: latency vs messages in transit (100 m radius)",
          "GLR below epidemic across the sweep; epidemic rises to ~90 s");
 
-  const int runs = defaultRuns();
   const std::vector<int> counts = paperScale()
                                       ? std::vector<int>{400, 890, 1400, 1980}
                                       : std::vector<int>{200, 400, 890};
+  std::vector<ScenarioConfig> grid;  // [GLR n0, Epi n0, GLR n1, ...]
+  for (const int n : counts) {
+    ScenarioConfig g = benchConfig(Protocol::kGlr, 100.0);
+    g.numMessages = n;
+    ScenarioConfig e = g;
+    e.protocol = Protocol::kEpidemic;
+    grid.push_back(g);
+    grid.push_back(e);
+  }
+  const std::vector<Agg> aggs = sweepAgg(grid, defaultRuns(), "fig5");
+
   std::printf(
       "\nmessages | GLR ratio | GLR latency (s) | Epidemic ratio | Epidemic "
       "latency (s)\n");
   std::printf(
       "---------+-----------+-----------------+----------------+-------------"
       "--------\n");
-  for (const int n : counts) {
-    ScenarioConfig g = benchConfig(Protocol::kGlr, 100.0);
-    g.numMessages = n;
-    ScenarioConfig e = g;
-    e.protocol = Protocol::kEpidemic;
-    const Agg ga = runAgg(g, runs);
-    const Agg ea = runAgg(e, runs);
-    std::printf("  %5d  | %-9s | %-15s | %-14s | %s\n", n,
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const Agg& ga = aggs[2 * i];
+    const Agg& ea = aggs[2 * i + 1];
+    std::printf("  %5d  | %-9s | %-15s | %-14s | %s\n", counts[i],
                 fmtPct(ga.ratio.mean).c_str(), fmtCI(ga.latency, 1).c_str(),
                 fmtPct(ea.ratio.mean).c_str(), fmtCI(ea.latency, 1).c_str());
   }

@@ -13,19 +13,27 @@ int main() {
   banner("Figure 6: latency vs transmission radius (GLR vs epidemic)",
          "both drop with radius; GLR below epidemic at >=100 m");
 
-  const int runs = defaultRuns();
+  const std::vector<double> radii = {50.0, 100.0, 150.0, 200.0, 250.0};
+  std::vector<ScenarioConfig> grid;  // [GLR r0, Epi r0, GLR r1, ...]
+  for (const double r : radii) {
+    ScenarioConfig g = benchConfig(Protocol::kGlr, r);
+    ScenarioConfig e = g;
+    e.protocol = Protocol::kEpidemic;
+    grid.push_back(g);
+    grid.push_back(e);
+  }
+  const std::vector<Agg> aggs = sweepAgg(grid, defaultRuns(), "fig6");
+
   std::printf(
       "\nradius | GLR copies | GLR ratio | GLR latency (s) | Epi ratio | Epi "
       "latency (s)\n");
   std::printf(
       "-------+------------+-----------+-----------------+-----------+-------"
       "--------\n");
-  for (const double r : {50.0, 100.0, 150.0, 200.0, 250.0}) {
-    ScenarioConfig g = benchConfig(Protocol::kGlr, r);
-    ScenarioConfig e = g;
-    e.protocol = Protocol::kEpidemic;
-    const Agg ga = runAgg(g, runs);
-    const Agg ea = runAgg(e, runs);
+  for (std::size_t i = 0; i < radii.size(); ++i) {
+    const double r = radii[i];
+    const Agg& ga = aggs[2 * i];
+    const Agg& ea = aggs[2 * i + 1];
     const int copies = glr::core::decideCopyCount(
         {.numNodes = 50, .radius = r, .areaWidth = 1500, .areaHeight = 300,
          .confidence = 10.0});

@@ -14,19 +14,24 @@ int main() {
   banner("Figure 7: delivery ratio vs per-node storage limit (50 m)",
          "epidemic degrades below ~200 msgs/node; GLR holds ~100% at 100");
 
-  const int runs = defaultRuns();
   const std::vector<std::size_t> limits = {25, 50, 100, 150, 200};
-  std::printf("\nstorage/node | GLR ratio      | Epidemic ratio\n");
-  std::printf("-------------+----------------+----------------\n");
+  std::vector<ScenarioConfig> grid;  // [GLR l0, Epi l0, GLR l1, ...]
   for (const std::size_t limit : limits) {
     ScenarioConfig g = benchConfig(Protocol::kGlr, 50.0);
     g.storageLimit = limit;
     ScenarioConfig e = g;
     e.protocol = Protocol::kEpidemic;
-    const Agg ga = runAgg(g, runs);
-    const Agg ea = runAgg(e, runs);
-    std::printf("   %6zu    | %-14s | %s\n", limit,
-                fmtPct(ga.ratio.mean).c_str(), fmtPct(ea.ratio.mean).c_str());
+    grid.push_back(g);
+    grid.push_back(e);
+  }
+  const std::vector<Agg> aggs = sweepAgg(grid, defaultRuns(), "fig7");
+
+  std::printf("\nstorage/node | GLR ratio      | Epidemic ratio\n");
+  std::printf("-------------+----------------+----------------\n");
+  for (std::size_t i = 0; i < limits.size(); ++i) {
+    std::printf("   %6zu    | %-14s | %s\n", limits[i],
+                fmtPct(aggs[2 * i].ratio.mean).c_str(),
+                fmtPct(aggs[2 * i + 1].ratio.mean).c_str());
   }
   std::printf(
       "\nExpected shape: GLR's controlled flooding keeps delivery high under\n"

@@ -39,24 +39,30 @@ int main() {
        "lat 212.4±16.6 hops 23.1 storage 50.9"},
   };
 
-  const int runs = defaultRuns();
+  // The paper's location study is in the sparse regime (its latencies match
+  // the 3800 s / multi-copy setting); we use the 100 m scenario. One config
+  // per row, swept as a single cell grid.
+  std::vector<ScenarioConfig> grid;
+  for (const Row& row : rows) {
+    ScenarioConfig cfg = benchConfig(Protocol::kGlr, 100.0);
+    cfg.copiesOverride = row.copies;
+    cfg.locationMode = row.mode;
+    grid.push_back(cfg);
+  }
+  const std::vector<Agg> aggs = sweepAgg(grid, defaultRuns(), "tab2");
+
   std::printf(
       "\nconfiguration           | ratio  | latency (s)   | hops        | avg "
       "peak storage | paper\n");
   std::printf(
       "------------------------+--------+---------------+-------------+------"
       "-----------+------\n");
-  // The paper's location study is in the sparse regime (its latencies match
-  // the 3800 s / multi-copy setting); we use the 100 m scenario.
-  for (const Row& row : rows) {
-    ScenarioConfig cfg = benchConfig(Protocol::kGlr, 100.0);
-    cfg.copiesOverride = row.copies;
-    cfg.locationMode = row.mode;
-    const Agg a = runAgg(cfg, runs);
-    std::printf("%s | %-6s | %-13s | %-11s | %-15s | %s\n", row.label,
+  for (std::size_t i = 0; i < std::size(rows); ++i) {
+    const Agg& a = aggs[i];
+    std::printf("%s | %-6s | %-13s | %-11s | %-15s | %s\n", rows[i].label,
                 fmtPct(a.ratio.mean, 1).c_str(), fmtCI(a.latency, 1).c_str(),
                 fmtCI(a.hops, 1).c_str(), fmtCI(a.avgPeak, 1).c_str(),
-                row.paper);
+                rows[i].paper);
   }
   std::printf(
       "\nExpected shape: latency ordering matches the paper's rows;\n"

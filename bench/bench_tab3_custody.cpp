@@ -13,17 +13,21 @@ int main() {
   banner("Table 3: delivery ratio with vs without custody transfer",
          "without 84.7% ± 1%, with 97.9% ± 1% (890 msgs, 50 m, 1200 s)");
 
-  const int runs = defaultRuns();
-  std::printf("\ncustody  | delivery ratio   | paper\n");
-  std::printf("---------+------------------+-----------\n");
+  std::vector<ScenarioConfig> grid;
   for (const bool custody : {false, true}) {
     ScenarioConfig cfg = benchConfig(Protocol::kGlr, 50.0);
     cfg.numMessages = 890;   // the paper fixes this row's workload
     cfg.simTime = 1200.0;
     cfg.custody = custody;
-    const auto rs = runScenarioSeeds(cfg, runs);
-    const auto ratio = glr::stats::meanCI(
-        glr::experiment::metricAcross(rs, &ScenarioResult::deliveryRatio));
+    grid.push_back(cfg);
+  }
+  const std::vector<Agg> aggs = sweepAgg(grid, defaultRuns(), "tab3");
+
+  std::printf("\ncustody  | delivery ratio   | paper\n");
+  std::printf("---------+------------------+-----------\n");
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const bool custody = grid[i].custody;
+    const auto& ratio = aggs[i].ratio;
     glr::stats::ConfidenceInterval pct{ratio.mean * 100.0,
                                        ratio.halfwidth * 100.0, ratio.samples};
     std::printf("%s | %-14s %% | %s\n", custody ? "with    " : "without ",

@@ -16,24 +16,28 @@ int main() {
   banner("Table 4: GLR peak storage vs number of messages (50 m, 3 copies)",
          "max peak 39->69, avg peak 21->44 as messages go 400->1980");
 
-  const int runs = defaultRuns();
   const std::vector<int> counts = paperScale()
                                       ? std::vector<int>{400, 600, 890, 1180, 1980}
                                       : std::vector<int>{400, 600, 890};
+  std::vector<ScenarioConfig> grid;
+  for (const int n : counts) {
+    ScenarioConfig cfg = benchConfig(Protocol::kGlr, 50.0);
+    cfg.numMessages = n;
+    grid.push_back(cfg);
+  }
+  const std::vector<Agg> aggs = sweepAgg(grid, defaultRuns(), "tab4");
+
   std::printf(
       "\nmessages | max peak storage | avg peak storage | paper (max/avg)\n");
   std::printf(
       "---------+------------------+------------------+----------------\n");
   const char* paperRef[] = {"39.0 / 21.3", "43.9 / 25.8", "49.1 / 30.2",
                             "59.9 / 37.3", "69.0 / 43.6"};
-  int i = 0;
-  for (const int n : counts) {
-    ScenarioConfig cfg = benchConfig(Protocol::kGlr, 50.0);
-    cfg.numMessages = n;
-    const Agg a = runAgg(cfg, runs);
-    std::printf("  %5d  | %-16s | %-16s | %s\n", n,
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const Agg& a = aggs[i];
+    std::printf("  %5d  | %-16s | %-16s | %s\n", counts[i],
                 fmtCI(a.maxPeak, 1).c_str(), fmtCI(a.avgPeak, 1).c_str(),
-                paperRef[i++]);
+                paperRef[i]);
   }
   std::printf(
       "\nExpected shape: both peaks grow sublinearly with the message count\n"

@@ -14,11 +14,6 @@ int main() {
   banner("Table 5: GLR peak storage vs radius",
          "storage shrinks with radius: max 69 -> 6.9 from 50 m to 250 m");
 
-  const int runs = defaultRuns();
-  std::printf(
-      "\nradius | max peak storage | avg peak storage | paper (max/avg)\n");
-  std::printf(
-      "-------+------------------+------------------+----------------\n");
   const struct {
     double r;
     const char* paper;
@@ -27,12 +22,21 @@ int main() {
               {150.0, "24.3 / 8.4"},
               {100.0, "48.4 / 25.8"},
               {50.0, "69.0 / 43.6"}};
+  std::vector<ScenarioConfig> grid;
   for (const auto& row : rows) {
-    ScenarioConfig cfg = benchConfig(Protocol::kGlr, row.r);
-    const Agg a = runAgg(cfg, runs);
-    std::printf("%4.0f m | %-16s | %-16s | %s\n", row.r,
+    grid.push_back(benchConfig(Protocol::kGlr, row.r));
+  }
+  const std::vector<Agg> aggs = sweepAgg(grid, defaultRuns(), "tab5");
+
+  std::printf(
+      "\nradius | max peak storage | avg peak storage | paper (max/avg)\n");
+  std::printf(
+      "-------+------------------+------------------+----------------\n");
+  for (std::size_t i = 0; i < std::size(rows); ++i) {
+    const Agg& a = aggs[i];
+    std::printf("%4.0f m | %-16s | %-16s | %s\n", rows[i].r,
                 fmtCI(a.maxPeak, 1).c_str(), fmtCI(a.avgPeak, 1).c_str(),
-                row.paper);
+                rows[i].paper);
   }
   std::printf(
       "\nExpected shape: the longer the radius, the smaller the storage\n"

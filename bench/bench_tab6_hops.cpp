@@ -15,9 +15,6 @@ int main() {
   banner("Table 6: hop counts vs radius (GLR vs epidemic)",
          "GLR hops exceed epidemic's, sharply so at 50 m");
 
-  const int runs = defaultRuns();
-  std::printf("\nradius | GLR hops      | Epidemic hops | paper (GLR/Epi)\n");
-  std::printf("-------+---------------+---------------+----------------\n");
   const struct {
     double r;
     const char* paper;
@@ -26,15 +23,25 @@ int main() {
               {150.0, "5.23 / 4.58"},
               {100.0, "8.75 / 4.92"},
               {50.0, "17.32 / 3.92"}};
+  // Grid layout: [GLR row0, Epi row0, GLR row1, Epi row1, ...].
+  std::vector<ScenarioConfig> grid;
   for (const auto& row : rows) {
     ScenarioConfig g = benchConfig(Protocol::kGlr, row.r);
     ScenarioConfig e = g;
     e.protocol = Protocol::kEpidemic;
-    const Agg ga = runAgg(g, runs);
-    const Agg ea = runAgg(e, runs);
-    std::printf("%4.0f m | %-13s | %-13s | %s\n", row.r,
+    grid.push_back(g);
+    grid.push_back(e);
+  }
+  const std::vector<Agg> aggs = sweepAgg(grid, defaultRuns(), "tab6");
+
+  std::printf("\nradius | GLR hops      | Epidemic hops | paper (GLR/Epi)\n");
+  std::printf("-------+---------------+---------------+----------------\n");
+  for (std::size_t i = 0; i < std::size(rows); ++i) {
+    const Agg& ga = aggs[2 * i];
+    const Agg& ea = aggs[2 * i + 1];
+    std::printf("%4.0f m | %-13s | %-13s | %s\n", rows[i].r,
                 fmtCI(ga.hops, 2).c_str(), fmtCI(ea.hops, 2).c_str(),
-                row.paper);
+                rows[i].paper);
   }
   std::printf(
       "\nExpected shape: GLR >= epidemic everywhere; GLR's hop count grows\n"

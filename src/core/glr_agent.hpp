@@ -112,6 +112,17 @@ class GlrAgent final : public routing::DtnAgent {
     return buffer_.peakSize();
   }
 
+  void harvestCounters(routing::ProtocolCounters& out) const override {
+    out.dataSent += counters_.dataSent;
+    out.dataReceived += counters_.dataReceived;
+    out.duplicatesDropped += counters_.duplicatesDropped;
+    out.custodyAcksSent += counters_.custodyAcksSent;
+    out.custodyAcksReceived += counters_.custodyAcksReceived;
+    out.cacheTimeouts += counters_.cacheTimeouts;
+    out.txFailures += counters_.txFailures;
+    out.faceTransitions += counters_.faceTransitions;
+  }
+
   [[nodiscard]] const GlrCounters& counters() const { return counters_; }
   [[nodiscard]] const net::NeighborService& neighbors() const {
     return neighbors_;

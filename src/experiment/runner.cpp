@@ -1,0 +1,247 @@
+#include "experiment/runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "experiment/tables.hpp"
+
+namespace glr::experiment {
+
+// Workers hand results back by writing results[cellIndex]; that is only
+// race-free-by-construction because a ScenarioResult is plain data.
+static_assert(std::is_trivially_copyable_v<ScenarioResult>,
+              "ScenarioResult must stay plain data: sweep workers write "
+              "disjoint vector slots concurrently");
+
+unsigned ThreadPool::defaultThreads() {
+  const int env = envInt("GLR_BENCH_THREADS", 0);
+  if (env > 0) return static_cast<unsigned>(env);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1u;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : threads_(threads > 0 ? threads : defaultThreads()) {
+  queues_.reserve(threads_);
+  for (unsigned i = 0; i < threads_; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  workers_.reserve(threads_ - 1);
+  for (unsigned i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this, i] { workerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock{mu_};
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::workerLoop(unsigned participant) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock lock{mu_};
+      wake_.wait(lock, [&] { return stopping_ || batchGeneration_ != seen; });
+      if (stopping_) return;
+      seen = batchGeneration_;
+    }
+    runBatch(participant);
+  }
+}
+
+bool ThreadPool::popTask(unsigned participant, std::size_t& index) {
+  {
+    Queue& own = *queues_[participant];
+    std::lock_guard lock{own.mu};
+    if (!own.tasks.empty()) {
+      index = own.tasks.back();  // LIFO on the owner's deque
+      own.tasks.pop_back();
+      return true;
+    }
+  }
+  for (unsigned off = 1; off < threads_; ++off) {
+    Queue& victim = *queues_[(participant + off) % threads_];
+    std::lock_guard lock{victim.mu};
+    if (!victim.tasks.empty()) {
+      index = victim.tasks.front();  // FIFO steal from the far end
+      victim.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::runBatch(unsigned participant) {
+  std::size_t index = 0;
+  while (popTask(participant, index)) {
+    bool skip;
+    {
+      std::lock_guard lock{mu_};
+      skip = aborted_;
+    }
+    if (!skip) {
+      try {
+        (*batchFn_)(index);
+      } catch (...) {
+        std::lock_guard lock{mu_};
+        if (!firstError_) firstError_ = std::current_exception();
+        aborted_ = true;  // drain the rest without executing
+      }
+    }
+    std::lock_guard lock{mu_};
+    if (--remaining_ == 0) done_.notify_all();
+  }
+}
+
+void ThreadPool::parallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_ == 1) {
+    // Degenerate pool: the serial loop, in index order, on this thread.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  {
+    std::lock_guard lock{mu_};
+    for (std::size_t i = 0; i < n; ++i) {
+      Queue& q = *queues_[i % threads_];
+      std::lock_guard qlock{q.mu};
+      q.tasks.push_back(i);
+    }
+    batchFn_ = &fn;
+    remaining_ = n;
+    firstError_ = nullptr;
+    aborted_ = false;
+    ++batchGeneration_;
+  }
+  wake_.notify_all();
+
+  runBatch(0);  // the calling thread is participant 0
+
+  std::exception_ptr error;
+  {
+    std::unique_lock lock{mu_};
+    done_.wait(lock, [&] { return remaining_ == 0; });
+    batchFn_ = nullptr;
+    error = std::exchange(firstError_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+// The comparator below must enumerate every ScenarioResult field except
+// wallSeconds; a field it misses silently escapes the determinism
+// contract. The struct is 24 tightly-packed 8-byte scalars — adding one
+// trips this assert, which is your cue to extend the comparator.
+static_assert(sizeof(ScenarioResult) == 24 * sizeof(std::uint64_t),
+              "ScenarioResult changed: update bitIdenticalIgnoringWall");
+
+bool bitIdenticalIgnoringWall(const ScenarioResult& a,
+                              const ScenarioResult& b) {
+  return a.created == b.created && a.delivered == b.delivered &&
+         a.deliveryRatio == b.deliveryRatio && a.avgLatency == b.avgLatency &&
+         a.avgHops == b.avgHops && a.maxPeakStorage == b.maxPeakStorage &&
+         a.avgPeakStorage == b.avgPeakStorage && a.macDataTx == b.macDataTx &&
+         a.macQueueDrops == b.macQueueDrops &&
+         a.macRetryDrops == b.macRetryDrops && a.collisions == b.collisions &&
+         a.airTimeSeconds == b.airTimeSeconds &&
+         a.duplicateDeliveries == b.duplicateDeliveries &&
+         a.perturbations == b.perturbations && a.glrDataSent == b.glrDataSent &&
+         a.glrDataReceived == b.glrDataReceived &&
+         a.glrDuplicatesDropped == b.glrDuplicatesDropped &&
+         a.glrCustodyAcksSent == b.glrCustodyAcksSent &&
+         a.glrCustodyAcksReceived == b.glrCustodyAcksReceived &&
+         a.glrCacheTimeouts == b.glrCacheTimeouts &&
+         a.glrTxFailures == b.glrTxFailures &&
+         a.glrFaceTransitions == b.glrFaceTransitions &&
+         a.eventsExecuted == b.eventsExecuted;
+}
+
+SweepRunner::SweepRunner() : SweepRunner(Options{}) {}
+
+SweepRunner::SweepRunner(Options opts) : opts_(opts) {}
+
+std::vector<ScenarioResult> SweepRunner::runCells(
+    const std::vector<ScenarioConfig>& cells) {
+  std::vector<ScenarioResult> results(cells.size());
+  if (cells.empty()) return results;
+
+  // Size the pool per batch: the requested (or default) thread count, but
+  // never more workers than cells — idle OS threads would only add spawn
+  // and wake overhead. Cell cost dwarfs pool construction.
+  const unsigned requested =
+      opts_.threads > 0 ? opts_.threads : ThreadPool::defaultThreads();
+  ThreadPool pool{
+      static_cast<unsigned>(std::min<std::size_t>(cells.size(), requested))};
+
+  struct Progress {
+    std::mutex mu;
+    std::size_t done = 0;
+    std::chrono::steady_clock::time_point start =
+        std::chrono::steady_clock::now();
+    std::chrono::steady_clock::time_point lastPrint{};
+  } progress;
+
+  pool.parallelFor(cells.size(), [&](std::size_t i) {
+    results[i] = runScenario(cells[i]);
+    if (!opts_.progress) return;
+    std::lock_guard lock{progress.mu};
+    ++progress.done;
+    const auto now = std::chrono::steady_clock::now();
+    const bool last = progress.done == cells.size();
+    if (!last && now - progress.lastPrint < std::chrono::seconds(2)) return;
+    progress.lastPrint = now;
+    const double elapsed =
+        std::chrono::duration<double>(now - progress.start).count();
+    const double eta =
+        elapsed / static_cast<double>(progress.done) *
+        static_cast<double>(cells.size() - progress.done);
+    std::fprintf(stderr,
+                 "[%s] %zu/%zu cells (%.0f%%) on %u thread(s), "
+                 "elapsed %.1fs, eta %.1fs\n",
+                 opts_.label, progress.done, cells.size(),
+                 100.0 * static_cast<double>(progress.done) /
+                     static_cast<double>(cells.size()),
+                 pool.threadCount(), elapsed, last ? 0.0 : eta);
+  });
+  return results;
+}
+
+std::vector<std::vector<ScenarioResult>> SweepRunner::run(
+    const std::vector<ScenarioConfig>& grid, int runs) {
+  std::vector<ScenarioConfig> cells;
+  if (runs > 0) {
+    cells.reserve(grid.size() * static_cast<std::size_t>(runs));
+    for (const ScenarioConfig& cfg : grid) {
+      for (int s = 0; s < runs; ++s) {
+        ScenarioConfig cell = cfg;
+        cell.seed = seedForRun(cfg.seed, s);
+        cells.push_back(cell);
+      }
+    }
+  }
+
+  std::vector<ScenarioResult> flat = runCells(cells);
+
+  std::vector<std::vector<ScenarioResult>> grouped(grid.size());
+  for (std::size_t g = 0; g < grid.size(); ++g) {
+    auto& group = grouped[g];
+    group.reserve(static_cast<std::size_t>(runs > 0 ? runs : 0));
+    for (int s = 0; s < runs; ++s) {
+      group.push_back(flat[g * static_cast<std::size_t>(runs) +
+                           static_cast<std::size_t>(s)]);
+    }
+  }
+  return grouped;
+}
+
+}  // namespace glr::experiment

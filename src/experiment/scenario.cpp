@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "dtn/metrics.hpp"
+#include "experiment/runner.hpp"
 #include "mobility/mobility.hpp"
 #include "net/world.hpp"
 #include "phy/propagation.hpp"
@@ -178,20 +179,19 @@ ScenarioResult runScenario(const ScenarioConfig& cfg) {
   r.perturbations = metrics.counter("glr.perturbations");
 
   stats::Summary peaks;
+  routing::ProtocolCounters proto;
   for (const routing::DtnAgent* a : agents) {
     peaks.add(static_cast<double>(a->storagePeak()));
-    if (const auto* g = dynamic_cast<const core::GlrAgent*>(a)) {
-      const core::GlrCounters& c = g->counters();
-      r.glrDataSent += c.dataSent;
-      r.glrDataReceived += c.dataReceived;
-      r.glrDuplicatesDropped += c.duplicatesDropped;
-      r.glrCustodyAcksSent += c.custodyAcksSent;
-      r.glrCustodyAcksReceived += c.custodyAcksReceived;
-      r.glrCacheTimeouts += c.cacheTimeouts;
-      r.glrTxFailures += c.txFailures;
-      r.glrFaceTransitions += c.faceTransitions;
-    }
+    a->harvestCounters(proto);
   }
+  r.glrDataSent = proto.dataSent;
+  r.glrDataReceived = proto.dataReceived;
+  r.glrDuplicatesDropped = proto.duplicatesDropped;
+  r.glrCustodyAcksSent = proto.custodyAcksSent;
+  r.glrCustodyAcksReceived = proto.custodyAcksReceived;
+  r.glrCacheTimeouts = proto.cacheTimeouts;
+  r.glrTxFailures = proto.txFailures;
+  r.glrFaceTransitions = proto.faceTransitions;
   r.maxPeakStorage = peaks.max();
   r.avgPeakStorage = peaks.mean();
 
@@ -211,14 +211,11 @@ ScenarioResult runScenario(const ScenarioConfig& cfg) {
 }
 
 std::vector<ScenarioResult> runScenarioSeeds(ScenarioConfig cfg, int runs) {
-  std::vector<ScenarioResult> out;
-  out.reserve(static_cast<std::size_t>(runs));
-  const std::uint64_t base = cfg.seed;
-  for (int i = 0; i < runs; ++i) {
-    cfg.seed = base + static_cast<std::uint64_t>(i) * 1009;
-    out.push_back(runScenario(cfg));
-  }
-  return out;
+  if (runs <= 0) return {};
+  // Default Options: GLR_BENCH_THREADS / hardware_concurrency; the runner
+  // itself never spawns more workers than there are cells.
+  SweepRunner runner;
+  return std::move(runner.run({cfg}, runs).front());
 }
 
 std::vector<double> metricAcross(const std::vector<ScenarioResult>& rs,

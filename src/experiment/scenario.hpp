@@ -84,7 +84,9 @@ struct ScenarioResult {
   std::uint64_t duplicateDeliveries = 0;
   std::uint64_t perturbations = 0;
 
-  // GLR protocol internals (zero for other protocols).
+  // Protocol internals, harvested via routing::DtnAgent::harvestCounters.
+  // GLR fills every field; epidemic reports its data/duplicate traffic;
+  // other protocols leave what they don't track at zero.
   std::uint64_t glrDataSent = 0;
   std::uint64_t glrDataReceived = 0;
   std::uint64_t glrDuplicatesDropped = 0;
@@ -102,7 +104,11 @@ struct ScenarioResult {
 /// Runs one scenario to completion and collects results.
 [[nodiscard]] ScenarioResult runScenario(const ScenarioConfig& cfg);
 
-/// Runs `runs` seeds (seed, seed+1, ...) of the same configuration.
+/// Runs `runs` replicate seeds of the same configuration across the
+/// deterministic parallel engine (runner.hpp): cells execute on
+/// GLR_BENCH_THREADS workers (default hardware_concurrency) and land in
+/// replicate order, so the returned vector is identical to a serial loop at
+/// any thread count.
 [[nodiscard]] std::vector<ScenarioResult> runScenarioSeeds(
     ScenarioConfig cfg, int runs);
 

@@ -4,10 +4,26 @@
 /// the experiment harness can drive any protocol uniformly.
 
 #include <cstddef>
+#include <cstdint>
 
 #include "net/world.hpp"
 
 namespace glr::routing {
+
+/// Protocol counters a routing agent can export to the experiment harness
+/// when a scenario ends. The field vocabulary follows GLR (the paper's
+/// protocol, which defines every one of them); other protocols accumulate
+/// into whatever maps naturally and leave the rest zero.
+struct ProtocolCounters {
+  std::uint64_t dataSent = 0;
+  std::uint64_t dataReceived = 0;
+  std::uint64_t duplicatesDropped = 0;
+  std::uint64_t custodyAcksSent = 0;
+  std::uint64_t custodyAcksReceived = 0;
+  std::uint64_t cacheTimeouts = 0;
+  std::uint64_t txFailures = 0;
+  std::uint64_t faceTransitions = 0;
+};
 
 class DtnAgent : public net::Agent {
  public:
@@ -19,6 +35,14 @@ class DtnAgent : public net::Agent {
 
   /// High-water mark of buffered message count.
   [[nodiscard]] virtual std::size_t storagePeak() const = 0;
+
+  /// Accumulates this agent's protocol counters into `out`. The harness
+  /// calls it once per agent at harvest time (end of scenario), which keeps
+  /// RTTI off the result path and lets each protocol report its own
+  /// numbers. Default: contributes nothing.
+  virtual void harvestCounters(ProtocolCounters& out) const {
+    static_cast<void>(out);
+  }
 };
 
 }  // namespace glr::routing

@@ -82,6 +82,12 @@ class EpidemicAgent final : public DtnAgent {
     return buffer_.peakSize();
   }
 
+  void harvestCounters(ProtocolCounters& out) const override {
+    out.dataSent += counters_.dataSent;
+    out.dataReceived += counters_.dataReceived;
+    out.duplicatesDropped += counters_.duplicatesDropped;
+  }
+
   [[nodiscard]] const EpidemicCounters& counters() const { return counters_; }
   [[nodiscard]] const dtn::MessageBuffer& buffer() const { return buffer_; }
 

@@ -5,6 +5,18 @@
 /// The paper reports every number as the mean of 10 independent runs with a
 /// 90% confidence interval; this module provides exactly that estimator so
 /// benches can print `mean ± halfwidth` rows in the paper's format.
+///
+/// Thread-safety invariant: nothing here is synchronized, and nothing here
+/// may be fed from inside sweep worker threads. Parallel sweeps
+/// (experiment::SweepRunner) have workers write each ScenarioResult into
+/// its own cell slot by index; Summary/meanCI consume the fully
+/// materialized, index-ordered results on the calling thread *after* the
+/// pool joins. That ordering is what keeps every printed `mean ± CI`
+/// bit-identical to the serial path — floating-point accumulation is not
+/// associative, so a reduction that depended on worker completion order
+/// would drift run to run. If a worker ever needs local statistics, give it
+/// a private Summary and combine the per-worker values after the join with
+/// merge() (deterministic only if merged in a fixed order).
 
 #include <cstddef>
 #include <span>
