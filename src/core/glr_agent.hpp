@@ -104,6 +104,9 @@ class GlrAgent final : public routing::DtnAgent {
   void onTxStatus(const net::Packet& packet, int dstMac,
                   bool success) override;
   void originate(int dstNode) override;
+  void onRadioState(bool up) override {
+    if (!up) neighbors_.reset();
+  }
 
   [[nodiscard]] std::size_t storageUsed() const override {
     return buffer_.size();

@@ -140,9 +140,9 @@ void ThreadPool::parallelFor(std::size_t n,
 
 // The comparator below must enumerate every ScenarioResult field except
 // wallSeconds; a field it misses silently escapes the determinism
-// contract. The struct is 24 tightly-packed 8-byte scalars — adding one
+// contract. The struct is 25 tightly-packed 8-byte scalars — adding one
 // trips this assert, which is your cue to extend the comparator.
-static_assert(sizeof(ScenarioResult) == 24 * sizeof(std::uint64_t),
+static_assert(sizeof(ScenarioResult) == 25 * sizeof(std::uint64_t),
               "ScenarioResult changed: update bitIdenticalIgnoringWall");
 
 bool bitIdenticalIgnoringWall(const ScenarioResult& a,
@@ -152,7 +152,9 @@ bool bitIdenticalIgnoringWall(const ScenarioResult& a,
          a.avgHops == b.avgHops && a.maxPeakStorage == b.maxPeakStorage &&
          a.avgPeakStorage == b.avgPeakStorage && a.macDataTx == b.macDataTx &&
          a.macQueueDrops == b.macQueueDrops &&
-         a.macRetryDrops == b.macRetryDrops && a.collisions == b.collisions &&
+         a.macRetryDrops == b.macRetryDrops &&
+         a.macRadioDownDrops == b.macRadioDownDrops &&
+         a.collisions == b.collisions &&
          a.airTimeSeconds == b.airTimeSeconds &&
          a.duplicateDeliveries == b.duplicateDeliveries &&
          a.perturbations == b.perturbations && a.glrDataSent == b.glrDataSent &&

@@ -8,6 +8,8 @@
 #include "dtn/metrics.hpp"
 #include "experiment/runner.hpp"
 #include "mobility/mobility.hpp"
+#include "mobility/registry.hpp"
+#include "net/churn.hpp"
 #include "net/world.hpp"
 #include "phy/propagation.hpp"
 #include "routing/direct.hpp"
@@ -35,13 +37,19 @@ const char* protocolName(Protocol p) {
 namespace {
 
 /// RNG stream ids, one per subsystem, so configuration changes in one
-/// subsystem never perturb another's draws.
+/// subsystem never perturb another's draws. The diversity streams
+/// (clusters/churn/radio) are only forked when their feature is enabled;
+/// forking is const on the master, so even eager forks would not perturb
+/// the other streams.
 enum Stream : std::uint64_t {
   kPlacement = 1,
   kMobility = 2,      // + node id
   kTraffic = 3,
   kMac = 4,           // + node id
   kAgent = 5,         // + node id
+  kClusters = 6,      // cluster-mobility home points
+  kChurn = 7,         // duty-cycle toggles (per-node forks inside)
+  kRadio = 8,         // heterogeneous per-node ranges
 };
 
 std::unique_ptr<routing::DtnAgent> makeAgent(const ScenarioConfig& cfg,
@@ -103,9 +111,36 @@ std::unique_ptr<routing::DtnAgent> makeAgent(const ScenarioConfig& cfg,
 
 }  // namespace
 
+ChurnSpec churnPreset(const std::string& name) {
+  ChurnSpec c;
+  if (name == "none") return c;
+  c.enabled = true;
+  if (name == "light") {
+    c.params.fraction = 0.25;
+    c.params.upMean = 240.0;
+    c.params.downMean = 20.0;
+  } else if (name == "moderate") {
+    c.params.fraction = 0.5;
+    c.params.upMean = 120.0;
+    c.params.downMean = 30.0;
+  } else if (name == "heavy") {
+    c.params.fraction = 0.8;
+    c.params.upMean = 60.0;
+    c.params.downMean = 45.0;
+  } else {
+    throw std::invalid_argument{"churnPreset: unknown preset '" + name + "'"};
+  }
+  return c;
+}
+
 ScenarioResult runScenario(const ScenarioConfig& cfg) {
   if (cfg.numNodes < 2 || cfg.trafficNodes > cfg.numNodes) {
     throw std::invalid_argument{"runScenario: bad node counts"};
+  }
+  if (!(cfg.radiusSpreadMin > 0.0) ||
+      cfg.radiusSpreadMax < cfg.radiusSpreadMin) {
+    throw std::invalid_argument{
+        "runScenario: need 0 < radiusSpreadMin <= radiusSpreadMax"};
   }
   const auto wallStart = std::chrono::steady_clock::now();
 
@@ -129,12 +164,39 @@ ScenarioResult runScenario(const ScenarioConfig& cfg) {
   dtn::MetricsCollector metrics;
 
   const mobility::Area area{cfg.areaWidth, cfg.areaHeight};
+
+  // Mobility comes from the string-keyed registry. The spec's embedded
+  // ModelParams goes to the factory verbatim; only the shared kinematics
+  // and placement fields are overlaid from the scenario config here (the
+  // one place they are authoritative). Cluster mobility draws its shared
+  // home points from a dedicated stream before the node loop.
+  mobility::ModelParams modelParams = cfg.mobility.params;
+  modelParams.area = area;
+  modelParams.speedMin = cfg.speedMin;
+  modelParams.speedMax = cfg.speedMax;
+  modelParams.pause = cfg.pause;
+  std::vector<geom::Point2> clusterCenters;
+  if (cfg.mobility.model == "cluster") {
+    if (cfg.mobility.numClusters < 1) {
+      throw std::invalid_argument{"runScenario: numClusters must be >= 1"};
+    }
+    sim::Rng clusterRng = master.fork(kClusters);
+    clusterCenters.reserve(static_cast<std::size_t>(cfg.mobility.numClusters));
+    for (int c = 0; c < cfg.mobility.numClusters; ++c) {
+      clusterCenters.push_back(mobility::randomPosition(area, clusterRng));
+    }
+  }
+
   sim::Rng placementRng = master.fork(kPlacement);
   std::vector<routing::DtnAgent*> agents;
   for (int i = 0; i < cfg.numNodes; ++i) {
     const geom::Point2 start = mobility::randomPosition(area, placementRng);
-    auto mob = std::make_unique<mobility::RandomWaypoint>(
-        area, cfg.speedMin, cfg.speedMax, cfg.pause, start,
+    if (!clusterCenters.empty()) {
+      modelParams.home =
+          clusterCenters[static_cast<std::size_t>(i) % clusterCenters.size()];
+    }
+    auto mob = mobility::makeMobilityModel(
+        cfg.mobility.model, modelParams, start,
         master.fork(kMobility * 1000 + static_cast<std::uint64_t>(i)));
     world.addNode(std::move(mob),
                   master.fork(kMac * 1000 + static_cast<std::uint64_t>(i)));
@@ -143,6 +205,27 @@ ScenarioResult runScenario(const ScenarioConfig& cfg) {
         master.fork(kAgent * 1000 + static_cast<std::uint64_t>(i)));
     agents.push_back(agent.get());
     world.setAgent(i, std::move(agent));
+  }
+
+  // Heterogeneous radios: per-node transmit ranges from a dedicated stream.
+  // The homogeneous default (1.0/1.0) skips the whole block, leaving the
+  // channel untouched and the run bit-identical to the paper setup.
+  if (cfg.radiusSpreadMin != 1.0 || cfg.radiusSpreadMax != 1.0) {
+    sim::Rng radioRng = master.fork(kRadio);
+    for (int i = 0; i < cfg.numNodes; ++i) {
+      world.setNodeRadius(
+          i, cfg.radius *
+                 radioRng.uniform(cfg.radiusSpreadMin, cfg.radiusSpreadMax));
+    }
+  }
+
+  // Node churn: duty-cycle toggles are simulator events owned by this
+  // process object, which must live until the run completes.
+  std::unique_ptr<net::ChurnProcess> churn;
+  if (cfg.churn.enabled) {
+    churn = std::make_unique<net::ChurnProcess>(world, cfg.churn.params,
+                                                master.fork(kChurn));
+    churn->start();
   }
 
   // Workload: ordered (src, dst) pairs among the traffic subset, shuffled;
@@ -200,6 +283,7 @@ ScenarioResult runScenario(const ScenarioConfig& cfg) {
     r.macDataTx += ms.dataTx;
     r.macQueueDrops += ms.queueDrops;
     r.macRetryDrops += ms.retryDrops;
+    r.macRadioDownDrops += ms.radioDownDrops;
   }
   r.collisions = world.channel().stats().collisions;
   r.airTimeSeconds = world.channel().stats().airTimeSeconds;

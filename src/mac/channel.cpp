@@ -51,7 +51,32 @@ void Channel::enableReceiverIndex(double maxRange, double maxSpeed,
   indexGrid_.reset();
 }
 
+void Channel::setNodeTxRange(int nodeId, double range) {
+  if (nodeId < 0 || !(range > 0.0)) {
+    throw std::invalid_argument{"Channel::setNodeTxRange: bad node/range"};
+  }
+  // rxPower is linear in transmit power for every PropagationModel we ship,
+  // so scaling the shared power by (threshold at `range`) / (actual power
+  // at `range`) puts the reception boundary exactly at `range`.
+  const double atRange = model_.rxPower(txPowerW_, range);
+  if (!(atRange > 0.0)) {
+    throw std::invalid_argument{"Channel::setNodeTxRange: range unreachable"};
+  }
+  const auto id = static_cast<std::size_t>(nodeId);
+  if (txPowerOf_.size() <= id) txPowerOf_.resize(id + 1, 0.0);
+  txPowerOf_[id] = txPowerW_ * (thresholds_.rxThresholdW / atRange);
+  maxNodeRange_ = std::max(maxNodeRange_, range);
+  indexGrid_.reset();  // candidate queries must widen to the new range
+}
+
+double Channel::txPowerFor(int nodeId) const {
+  const auto id = static_cast<std::size_t>(nodeId);
+  return id < txPowerOf_.size() && txPowerOf_[id] > 0.0 ? txPowerOf_[id]
+                                                        : txPowerW_;
+}
+
 const std::vector<int>& Channel::receiverCandidates(geom::Point2 center) {
+  const double queryRange = std::max(indexMaxRange_, maxNodeRange_ + 1e-6);
   const sim::SimTime now = sim_.now();
   if (!indexGrid_ || now - indexBuiltAt_ > indexRebuildInterval_) {
     std::vector<geom::Point2> pts;
@@ -63,11 +88,11 @@ const std::vector<int>& Channel::receiverCandidates(geom::Point2 center) {
       indexToMacId_.push_back(static_cast<int>(id));
     }
     indexGrid_ = std::make_unique<geom::SpatialGrid>(
-        std::move(pts), indexMaxRange_ + indexSlack_);
+        std::move(pts), queryRange + indexSlack_);
     indexBuiltAt_ = now;
   }
   candidateScratch_.clear();
-  indexGrid_->queryRadius(center, indexMaxRange_ + indexSlack_,
+  indexGrid_->queryRadius(center, queryRange + indexSlack_,
                           candidateScratch_);
   for (int& c : candidateScratch_) {
     c = indexToMacId_[static_cast<std::size_t>(c)];
@@ -79,7 +104,7 @@ const std::vector<int>& Channel::receiverCandidates(geom::Point2 center) {
 }
 
 double Channel::powerAt(const ActiveTx& tx, geom::Point2 rxPos) const {
-  return model_.rxPower(txPowerW_, geom::dist(tx.senderPos, rxPos));
+  return model_.rxPower(txPowerFor(tx.sender), geom::dist(tx.senderPos, rxPos));
 }
 
 void Channel::startTransmission(int sender, Frame frame, double duration) {
@@ -124,11 +149,24 @@ void Channel::finishTransmission(std::uint64_t txId) {
   if (txId < historyBaseId_) return;  // already pruned (should not happen)
   const ActiveTx& tx = history_[txId - historyBaseId_];
 
+  // A churned sender whose radio shut off mid-frame truncated the
+  // transmission: nobody decodes it (the symmetric rule to the per-receiver
+  // radioUpSince check below). The frame still interferes — the history
+  // scan for collisions is unaffected — it just cannot be received.
+  Mac* senderMac = static_cast<std::size_t>(tx.sender) < macs_.size()
+                       ? macs_[static_cast<std::size_t>(tx.sender)]
+                       : nullptr;
+  const bool senderCompleted =
+      senderMac == nullptr || senderMac->radioUpSince(tx.start);
+
   const auto tryDeliver = [this, &tx](int v) {
     Mac* mac = static_cast<std::size_t>(v) < macs_.size()
                    ? macs_[static_cast<std::size_t>(v)]
                    : nullptr;
     if (mac == nullptr || v == tx.sender) return;
+    // Duty-cycled receivers must have been up for the frame's whole
+    // airtime (a radio that woke mid-frame heard only a fragment).
+    if (!mac->radioUpSince(tx.start)) return;
 
     const geom::Point2 rxPos = positionOf_(v);
     const double signal = powerAt(tx, rxPos);
@@ -157,7 +195,9 @@ void Channel::finishTransmission(std::uint64_t txId) {
     mac->onFrameReceived(tx.frame);
   };
 
-  if (tx.frame.dst != net::kBroadcast) {
+  if (!senderCompleted) {
+    // truncated: fall through to history pruning only
+  } else if (tx.frame.dst != net::kBroadcast) {
     // Unicast: the destination is the only possible receiver.
     tryDeliver(tx.frame.dst);
   } else if (indexEnabled_) {

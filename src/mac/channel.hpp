@@ -65,6 +65,14 @@ class Channel {
   void enableReceiverIndex(double maxRange, double maxSpeed,
                            double rebuildInterval = 0.5);
 
+  /// Gives `nodeId` a heterogeneous transmit range: its transmit power is
+  /// scaled so reception succeeds out to `range` metres (propagation is
+  /// linear in transmit power, so the scale is exact; carrier-sense
+  /// distance shifts consistently with the propagation law). Nodes without
+  /// an override keep the shared radio. The receiver index automatically
+  /// widens its candidate queries to the largest per-node range.
+  void setNodeTxRange(int nodeId, double range);
+
   /// Begins an on-air transmission of `frame` lasting `duration` seconds.
   void startTransmission(int sender, Frame frame, double duration);
 
@@ -93,6 +101,8 @@ class Channel {
 
   void finishTransmission(std::uint64_t txId);
   [[nodiscard]] double powerAt(const ActiveTx& tx, geom::Point2 rxPos) const;
+  /// Transmit power of `nodeId` (per-node override or the shared default).
+  [[nodiscard]] double txPowerFor(int nodeId) const;
   /// Candidate receiver ids near `center` (ascending). Refreshes the grid
   /// snapshot if stale. Only called when the receiver index is enabled.
   [[nodiscard]] const std::vector<int>& receiverCandidates(
@@ -109,6 +119,12 @@ class Channel {
   std::uint64_t nextTxId_ = 0;
   std::uint64_t historyBaseId_ = 0;
   ChannelStats stats_;
+
+  // Per-sender transmit power overrides (heterogeneous ranges); 0 = use the
+  // shared txPowerW_. maxNodeRange_ tracks the largest per-node range so
+  // receiver-index queries stay conservative.
+  std::vector<double> txPowerOf_;
+  double maxNodeRange_ = 0.0;
 
   // Receiver index state (see enableReceiverIndex).
   bool indexEnabled_ = false;

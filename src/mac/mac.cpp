@@ -27,6 +27,10 @@ int Mac::contentionWindow(int attempts) const {
 }
 
 bool Mac::send(net::Packet packet, int dstMac) {
+  if (!radioUp_) {
+    ++stats_.radioDownDrops;
+    return false;
+  }
   if (queue_.size() >= params_.queueLimit) {
     ++stats_.queueDrops;
     return false;
@@ -42,7 +46,8 @@ bool Mac::send(net::Packet packet, int dstMac) {
 }
 
 void Mac::scheduleAttempt() {
-  if (attemptScheduled_ || transmitting_ || awaitingAck_ || queue_.empty()) {
+  if (!radioUp_ || attemptScheduled_ || transmitting_ || awaitingAck_ ||
+      queue_.empty()) {
     return;
   }
   attemptScheduled_ = true;
@@ -50,7 +55,7 @@ void Mac::scheduleAttempt() {
 }
 
 void Mac::attempt() {
-  if (transmitting_ || awaitingAck_ || queue_.empty()) {
+  if (!radioUp_ || transmitting_ || awaitingAck_ || queue_.empty()) {
     attemptScheduled_ = false;
     return;
   }
@@ -68,7 +73,7 @@ void Mac::attempt() {
       static_cast<double>(rng_.below(static_cast<std::uint64_t>(cw) + 1)) *
       params_.slotTime;
   attemptHandle_ = sim_.schedule(params_.difs + backoff, [this] {
-    if (queue_.empty()) {
+    if (!radioUp_ || queue_.empty()) {
       attemptScheduled_ = false;
       return;
     }
@@ -103,11 +108,19 @@ void Mac::transmitHead() {
   if (out.attempts > 0) ++stats_.retries;
 
   channel_.startTransmission(self_, std::move(frame), duration);
-  sim_.schedule(duration, [this, broadcast] { onDataTxEnd(!broadcast); });
+  sim_.schedule(duration, [this, broadcast, epoch = radioEpoch_] {
+    onDataTxEnd(!broadcast, epoch);
+  });
 }
 
-void Mac::onDataTxEnd(bool expectAck) {
+void Mac::onDataTxEnd(bool expectAck, std::uint64_t epoch) {
   transmitting_ = false;
+  if (epoch != radioEpoch_) {
+    // Radio toggled mid-frame: that head was flushed. If we are back up
+    // with newly queued traffic, restart contention for it.
+    scheduleAttempt();
+    return;
+  }
   if (!expectAck) {
     finishHead(true);
     return;
@@ -121,6 +134,7 @@ void Mac::onDataTxEnd(bool expectAck) {
 
 void Mac::onAckTimeout() {
   awaitingAck_ = false;
+  if (queue_.empty()) return;  // defensive: down-flush cancels this timer
   Outgoing& out = queue_.front();
   ++out.attempts;
   if (out.attempts > params_.retryLimit) {
@@ -140,7 +154,35 @@ void Mac::finishHead(bool success) {
   scheduleAttempt();
 }
 
+void Mac::setRadioUp(bool up) {
+  if (up == radioUp_) return;
+  radioUp_ = up;
+  ++radioEpoch_;
+  if (up) {
+    upSince_ = sim_.now();
+    scheduleAttempt();  // queue is empty after a down-flush; harmless
+    return;
+  }
+  // Going down: cancel pending contention/ACK timers and flush the queue.
+  // The head may be mid-air — the channel finishes that frame (it left the
+  // antenna), but this MAC forgets it: the epoch guard neutralizes the
+  // pending tx-end event and the unicast fails below.
+  attemptHandle_.cancel();
+  attemptScheduled_ = false;
+  ackTimeoutHandle_.cancel();
+  awaitingAck_ = false;
+  while (!queue_.empty()) {
+    Outgoing out = std::move(queue_.front());
+    queue_.pop_front();
+    ++stats_.radioDownDrops;
+    if (onTxStatus_ && out.dst != net::kBroadcast) {
+      onTxStatus_(out.packet, out.dst, false);
+    }
+  }
+}
+
 void Mac::onFrameReceived(const Frame& frame) {
+  if (!radioUp_) return;  // duty-cycled off: the radio hears nothing
   if (frame.type == Frame::Type::kAck) {
     if (awaitingAck_ && frame.dst == self_ && frame.seq == awaitedSeq_) {
       ++stats_.rxAck;
@@ -159,7 +201,8 @@ void Mac::onFrameReceived(const Frame& frame) {
     // the closure stays inside the kernel's inline-callback budget.
     const double ackDur = frameDuration(params_.ackBytes);
     sim_.schedule(params_.sifs, [this, dst = frame.src, seq = frame.seq,
-                                 ackDur] {
+                                 ackDur, epoch = radioEpoch_] {
+      if (epoch != radioEpoch_) return;  // radio toggled during SIFS
       Frame ack;
       ack.type = Frame::Type::kAck;
       ack.src = self_;

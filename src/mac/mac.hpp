@@ -49,6 +49,7 @@ struct MacStats {
   std::uint64_t rxData = 0;
   std::uint64_t rxAck = 0;
   std::uint64_t duplicatesSuppressed = 0;
+  std::uint64_t radioDownDrops = 0;   // sends attempted/flushed while down
 };
 
 class Mac {
@@ -83,6 +84,21 @@ class Mac {
   [[nodiscard]] bool transmittedDuring(sim::SimTime start,
                                        sim::SimTime end) const;
 
+  /// Radio duty-cycle gate (node churn). While down the MAC neither
+  /// transmits nor receives: send() drops (counted in radioDownDrops), the
+  /// channel skips this node as a receiver, pending backoff/ACK timers are
+  /// cancelled and the whole interface queue is flushed (unicasts fail via
+  /// the tx-status callback — the radio shut down under them). Coming back
+  /// up resumes normal operation with an empty queue.
+  void setRadioUp(bool up);
+  [[nodiscard]] bool radioUp() const { return radioUp_; }
+  /// Channel-facing: true if the radio has been continuously up since
+  /// `start`. A frame is received only when the radio was on for its whole
+  /// airtime — the receive-side mirror of transmittedDuring.
+  [[nodiscard]] bool radioUpSince(sim::SimTime start) const {
+    return radioUp_ && upSince_ <= start;
+  }
+
  private:
   struct Outgoing {
     net::Packet packet;
@@ -94,7 +110,7 @@ class Mac {
   void scheduleAttempt();
   void attempt();
   void transmitHead();
-  void onDataTxEnd(bool expectAck);
+  void onDataTxEnd(bool expectAck, std::uint64_t epoch);
   void onAckTimeout();
   void finishHead(bool success);
   [[nodiscard]] double frameDuration(std::size_t bytes) const;
@@ -110,6 +126,12 @@ class Mac {
   bool attemptScheduled_ = false;
   bool transmitting_ = false;
   bool awaitingAck_ = false;
+  bool radioUp_ = true;
+  sim::SimTime upSince_ = 0.0;  // when the radio last turned (or started) on
+  // Bumped on every up/down transition; in-flight tx-end and ACK-reply
+  // events compare their captured epoch so a toggle mid-frame can never
+  // attach a stale completion to a newer queue head.
+  std::uint64_t radioEpoch_ = 0;
   std::uint64_t nextSeq_ = 1;
   std::uint64_t awaitedSeq_ = 0;
   sim::EventHandle attemptHandle_;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
+#include <string>
 
 namespace glr::mobility {
 
@@ -11,53 +12,69 @@ geom::Point2 randomPosition(Area area, sim::Rng& rng) {
   return {rng.uniform(0.0, area.width), rng.uniform(0.0, area.height)};
 }
 
-RandomWaypoint::RandomWaypoint(Area area, double speedMin, double speedMax,
-                               double pause, geom::Point2 start, sim::Rng rng)
+geom::Point2 clampToArea(geom::Point2 p, Area area) {
+  return {std::clamp(p.x, 0.0, area.width), std::clamp(p.y, 0.0, area.height)};
+}
+
+void MobilityModel::requireMonotone(sim::SimTime t, const char* model) {
+  if (t < lastQueryTime_) {
+    throw std::invalid_argument{std::string{model} +
+                                "::positionAt: time moved backwards"};
+  }
+  lastQueryTime_ = t;
+}
+
+LegMobility::LegMobility(Area area, double speedMin, double speedMax,
+                         double pause, geom::Point2 start, sim::Rng rng,
+                         const char* name)
     : area_(area),
       speedMin_(speedMin),
       speedMax_(speedMax),
       pause_(pause),
       rng_(rng),
+      name_(name),
       from_(start),
       to_(start) {
   if (area.width <= 0.0 || area.height <= 0.0) {
-    throw std::invalid_argument{"RandomWaypoint: area must be positive"};
+    throw std::invalid_argument{std::string{name} +
+                                ": area must be positive"};
   }
   if (speedMin <= 0.0 || speedMax < speedMin) {
-    throw std::invalid_argument{
-        "RandomWaypoint: need 0 < speedMin <= speedMax"};
+    throw std::invalid_argument{std::string{name} +
+                                ": need 0 < speedMin <= speedMax"};
   }
   if (pause < 0.0) {
-    throw std::invalid_argument{"RandomWaypoint: negative pause"};
+    throw std::invalid_argument{std::string{name} + ": negative pause"};
   }
-  pickNextLeg();
 }
 
-void RandomWaypoint::pickNextLeg() {
+void LegMobility::pickNextLeg() {
   from_ = to_;
   legStart_ = pauseEnd_;
-  to_ = randomPosition(area_, rng_);
+  to_ = pickDestination(from_, rng_);
   const double speed = rng_.uniform(speedMin_, speedMax_);
   const double d = geom::dist(from_, to_);
   arrive_ = legStart_ + d / speed;
   pauseEnd_ = arrive_ + pause_;
 }
 
-void RandomWaypoint::advanceTo(sim::SimTime t) {
+geom::Point2 LegMobility::positionAt(sim::SimTime t) {
+  requireMonotone(t, name_);
   while (t >= pauseEnd_) pickNextLeg();
-}
-
-geom::Point2 RandomWaypoint::positionAt(sim::SimTime t) {
-  if (t < lastQuery_) {
-    throw std::invalid_argument{
-        "RandomWaypoint::positionAt: time moved backwards"};
-  }
-  lastQuery_ = t;
-  advanceTo(t);
   if (t <= legStart_) return from_;
   if (t >= arrive_) return to_;  // pausing at destination
   const double f = (t - legStart_) / (arrive_ - legStart_);
   return from_ + (to_ - from_) * f;
+}
+
+RandomWaypoint::RandomWaypoint(Area area, double speedMin, double speedMax,
+                               double pause, geom::Point2 start, sim::Rng rng)
+    : LegMobility(area, speedMin, speedMax, pause, start, rng,
+                  "RandomWaypoint") {}
+
+geom::Point2 RandomWaypoint::pickDestination(geom::Point2 /*from*/,
+                                             sim::Rng& rng) {
+  return randomPosition(area(), rng);
 }
 
 RandomWalk::RandomWalk(Area area, double speedMin, double speedMax,
@@ -85,10 +102,7 @@ void RandomWalk::pickLeg() {
 }
 
 geom::Point2 RandomWalk::positionAt(sim::SimTime t) {
-  if (t < lastTime_) {
-    throw std::invalid_argument{
-        "RandomWalk::positionAt: time moved backwards"};
-  }
+  requireMonotone(t, "RandomWalk");
   // Integrate in (possibly several) leg segments, reflecting at borders.
   while (lastTime_ < t) {
     const sim::SimTime step = std::min(t, legEnd_) - lastTime_;

@@ -5,7 +5,10 @@
 /// Positions are evaluated lazily at arbitrary (non-decreasing) times rather
 /// than stepped, so the event-driven simulator only pays for position
 /// queries it actually makes. The paper's evaluation uses the random
-/// waypoint model (uniform 0–20 m/s, pause 0) in a 1500 m x 300 m region.
+/// waypoint model (uniform 0–20 m/s, pause 0) in a 1500 m x 300 m region;
+/// models.hpp adds the extension models (random direction, Gauss-Markov,
+/// Manhattan grid, clustered home-point) and registry.hpp the string-keyed
+/// factory the scenario layer selects them through.
 
 #include <memory>
 
@@ -28,9 +31,22 @@ class MobilityModel {
  public:
   virtual ~MobilityModel() = default;
   [[nodiscard]] virtual geom::Point2 positionAt(sim::SimTime t) = 0;
+
+ protected:
+  /// Enforces the non-decreasing-time contract. Every stateful model calls
+  /// this first in positionAt: a backwards query would silently corrupt the
+  /// incrementally advanced trajectory, so it throws (in every build type —
+  /// it doubles as the simulation's clock-monotonicity tripwire: mobility is
+  /// queried from almost every event, so a kernel that ever ran time
+  /// backwards would be caught here immediately).
+  void requireMonotone(sim::SimTime t, const char* model);
+
+ private:
+  sim::SimTime lastQueryTime_ = 0.0;
 };
 
-/// A node that never moves.
+/// A node that never moves. positionAt is a pure constant, so (alone among
+/// the models) it tolerates arbitrary query order.
 class StaticMobility final : public MobilityModel {
  public:
   explicit StaticMobility(geom::Point2 pos) : pos_(pos) {}
@@ -40,22 +56,34 @@ class StaticMobility final : public MobilityModel {
   geom::Point2 pos_;
 };
 
-/// Random waypoint: pick a uniform point in the area, travel to it at a
-/// uniform speed in [speedMin, speedMax], pause, repeat.
-///
-/// speedMin must be > 0: the classical RWP pathology (speeds arbitrarily
-/// close to zero strand nodes for unbounded times) would otherwise make
-/// long simulations degenerate. The paper's "0–20 m/s uniform" is realized
-/// with a small positive floor.
-class RandomWaypoint final : public MobilityModel {
+/// Shared engine for leg-based models: travel in straight legs to
+/// successive destinations at a per-leg uniform speed in
+/// [speedMin, speedMax], pause `pause` seconds on arrival, repeat.
+/// Subclasses only choose each leg's destination (pickDestination), which is
+/// what distinguishes random waypoint from random direction, Manhattan and
+/// home-point mobility. Legs advance on internal boundaries independent of
+/// the query pattern, so positionAt is a pure function of t — the property
+/// the channel's spatial receiver index relies on.
+class LegMobility : public MobilityModel {
  public:
-  RandomWaypoint(Area area, double speedMin, double speedMax, double pause,
-                 geom::Point2 start, sim::Rng rng);
+  geom::Point2 positionAt(sim::SimTime t) final;
 
-  geom::Point2 positionAt(sim::SimTime t) override;
+ protected:
+  /// speedMin must be > 0: the classical RWP pathology (speeds arbitrarily
+  /// close to zero strand nodes for unbounded times) would otherwise make
+  /// long simulations degenerate.
+  LegMobility(Area area, double speedMin, double speedMax, double pause,
+              geom::Point2 start, sim::Rng rng, const char* name);
+
+  /// The next destination for a leg departing from `from`; draws from `rng`
+  /// (the model's own stream). May mutate subclass state (e.g. the Manhattan
+  /// model's current intersection).
+  [[nodiscard]] virtual geom::Point2 pickDestination(geom::Point2 from,
+                                                     sim::Rng& rng) = 0;
+
+  [[nodiscard]] const Area& area() const { return area_; }
 
  private:
-  void advanceTo(sim::SimTime t);
   void pickNextLeg();
 
   Area area_;
@@ -63,20 +91,38 @@ class RandomWaypoint final : public MobilityModel {
   double speedMax_;
   double pause_;
   sim::Rng rng_;
+  const char* name_;
 
   // Current leg: travel from from_ (departing at legStart_) to to_,
-  // arriving at arrive_, then pause until pauseEnd_.
+  // arriving at arrive_, then pause until pauseEnd_. The first leg is
+  // picked lazily on the first query (a constructor cannot call the
+  // subclass's pickDestination), with identical draw order to an eager
+  // pick: pauseEnd_ == 0 forces pickNextLeg before the first evaluation.
   geom::Point2 from_;
   geom::Point2 to_;
   sim::SimTime legStart_ = 0.0;
   sim::SimTime arrive_ = 0.0;
   sim::SimTime pauseEnd_ = 0.0;
-  sim::SimTime lastQuery_ = 0.0;
 };
 
-/// Random direction walk: pick a heading and a travel duration, bounce off
-/// area borders (reflection). Used as an alternative mobility pattern in
-/// extension experiments.
+/// Random waypoint: pick a uniform point in the area, travel to it at a
+/// uniform speed in [speedMin, speedMax], pause, repeat. The paper's
+/// "0–20 m/s uniform" is realized with a small positive floor (see
+/// LegMobility).
+class RandomWaypoint final : public LegMobility {
+ public:
+  RandomWaypoint(Area area, double speedMin, double speedMax, double pause,
+                 geom::Point2 start, sim::Rng rng);
+
+ protected:
+  geom::Point2 pickDestination(geom::Point2 from, sim::Rng& rng) override;
+};
+
+/// Random walk: pick a heading and a travel duration, bounce off area
+/// borders (reflection). Unlike the leg-based models its position is
+/// integrated per query, so under the channel's spatial index the exact FP
+/// trajectory can depend on which times get queried (still deterministic
+/// for a fixed configuration — the query pattern itself is deterministic).
 class RandomWalk final : public MobilityModel {
  public:
   RandomWalk(Area area, double speedMin, double speedMax, double legDuration,
@@ -101,5 +147,8 @@ class RandomWalk final : public MobilityModel {
 
 /// Uniformly random starting position inside `area`.
 [[nodiscard]] geom::Point2 randomPosition(Area area, sim::Rng& rng);
+
+/// `p` clamped into `area` (kills FP overshoot at borders).
+[[nodiscard]] geom::Point2 clampToArea(geom::Point2 p, Area area);
 
 }  // namespace glr::mobility

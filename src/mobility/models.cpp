@@ -1,0 +1,311 @@
+#include "mobility/models.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+namespace glr::mobility {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}
+
+double gaussian(sim::Rng& rng) {
+  // Box-Muller; 1 - u keeps the log argument in (0, 1].
+  const double u = 1.0 - rng.uniform01();
+  const double v = rng.uniform01();
+  return std::sqrt(-2.0 * std::log(u)) * std::cos(kTwoPi * v);
+}
+
+// ---------------------------------------------------------------------------
+// RandomDirection
+// ---------------------------------------------------------------------------
+
+RandomDirection::RandomDirection(Area area, double speedMin, double speedMax,
+                                 double pause, geom::Point2 start,
+                                 sim::Rng rng)
+    : LegMobility(area, speedMin, speedMax, pause, clampToArea(start, area),
+                  rng, "RandomDirection") {}
+
+geom::Point2 RandomDirection::pickDestination(geom::Point2 from,
+                                              sim::Rng& rng) {
+  // Rejection-sample a heading with positive travel distance to the border
+  // (a node sitting on the border rejects headings that point outward).
+  for (;;) {
+    const double heading = rng.uniform(0.0, kTwoPi);
+    const geom::Point2 dir{std::cos(heading), std::sin(heading)};
+    double reach = std::numeric_limits<double>::infinity();
+    if (dir.x > 0.0) {
+      reach = std::min(reach, (area().width - from.x) / dir.x);
+    } else if (dir.x < 0.0) {
+      reach = std::min(reach, -from.x / dir.x);
+    }
+    if (dir.y > 0.0) {
+      reach = std::min(reach, (area().height - from.y) / dir.y);
+    } else if (dir.y < 0.0) {
+      reach = std::min(reach, -from.y / dir.y);
+    }
+    if (!std::isfinite(reach) || reach <= 1e-9) continue;
+    return clampToArea(from + dir * reach, area());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GaussMarkov
+// ---------------------------------------------------------------------------
+
+GaussMarkov::GaussMarkov(Area area, double speedMin, double speedMax,
+                         double updateInterval, double alpha, double meanSpeed,
+                         geom::Point2 start, sim::Rng rng)
+    : area_(area),
+      speedMin_(speedMin),
+      speedMax_(speedMax),
+      dt_(updateInterval),
+      alpha_(alpha),
+      meanSpeed_(meanSpeed),
+      sigmaSpeed_(0.25 * (speedMax - speedMin)),
+      sigmaDir_(0.5),
+      margin_(0.1 * std::min(area.width, area.height)),
+      rng_(rng),
+      from_(clampToArea(start, area)) {
+  if (area.width <= 0.0 || area.height <= 0.0) {
+    throw std::invalid_argument{"GaussMarkov: area must be positive"};
+  }
+  if (speedMin <= 0.0 || speedMax < speedMin) {
+    throw std::invalid_argument{"GaussMarkov: need 0 < speedMin <= speedMax"};
+  }
+  if (updateInterval <= 0.0) {
+    throw std::invalid_argument{"GaussMarkov: updateInterval must be > 0"};
+  }
+  if (alpha < 0.0 || alpha > 1.0) {
+    throw std::invalid_argument{"GaussMarkov: alpha must be in [0, 1]"};
+  }
+  if (meanSpeed < speedMin || meanSpeed > speedMax) {
+    throw std::invalid_argument{
+        "GaussMarkov: meanSpeed outside [speedMin, speedMax]"};
+  }
+  speed_ = meanSpeed_;
+  theta_ = rng_.uniform(0.0, kTwoPi);
+  integrate();  // segment 0 uses the initial (speed, theta)
+}
+
+void GaussMarkov::updateProcess() {
+  // Steer the mean heading toward the interior inside the edge margin; the
+  // corner cases aim diagonally inward (Camp/Boleng edge handling).
+  const bool west = from_.x < margin_;
+  const bool east = from_.x > area_.width - margin_;
+  const bool south = from_.y < margin_;
+  const bool north = from_.y > area_.height - margin_;
+  double mean = theta_;  // free flight: persist the current heading
+  if (west || east || south || north) {
+    double mx = west ? 1.0 : (east ? -1.0 : 0.0);
+    double my = south ? 1.0 : (north ? -1.0 : 0.0);
+    mean = std::atan2(my, mx);
+  }
+  // Pull theta toward the representation of `mean` nearest to it, so an
+  // unbounded accumulated angle still relaxes correctly.
+  mean += kTwoPi * std::round((theta_ - mean) / kTwoPi);
+
+  const double k = std::sqrt(std::max(0.0, 1.0 - alpha_ * alpha_));
+  speed_ = alpha_ * speed_ + (1.0 - alpha_) * meanSpeed_ +
+           k * sigmaSpeed_ * gaussian(rng_);
+  speed_ = std::clamp(speed_, speedMin_, speedMax_);
+  theta_ = alpha_ * theta_ + (1.0 - alpha_) * mean +
+           k * sigmaDir_ * gaussian(rng_);
+}
+
+void GaussMarkov::integrate() {
+  geom::Point2 p = from_ + geom::Point2{speed_ * std::cos(theta_),
+                                        speed_ * std::sin(theta_)} *
+                               dt_;
+  // Reflect into the area; the heading flips so the process stays coherent.
+  while (p.x < 0.0 || p.x > area_.width) {
+    if (p.x < 0.0) p.x = -p.x;
+    if (p.x > area_.width) p.x = 2.0 * area_.width - p.x;
+    theta_ = std::numbers::pi - theta_;
+  }
+  while (p.y < 0.0 || p.y > area_.height) {
+    if (p.y < 0.0) p.y = -p.y;
+    if (p.y > area_.height) p.y = 2.0 * area_.height - p.y;
+    theta_ = -theta_;
+  }
+  to_ = clampToArea(p, area_);
+}
+
+void GaussMarkov::step() {
+  from_ = to_;
+  stepStart_ += dt_;
+  updateProcess();
+  integrate();
+}
+
+geom::Point2 GaussMarkov::positionAt(sim::SimTime t) {
+  requireMonotone(t, "GaussMarkov");
+  while (t >= stepStart_ + dt_) step();
+  const double f = (t - stepStart_) / dt_;
+  return from_ + (to_ - from_) * f;
+}
+
+// ---------------------------------------------------------------------------
+// ManhattanGrid
+// ---------------------------------------------------------------------------
+
+namespace {
+
+geom::Point2 snapToGrid(geom::Point2 p, Area area, double spacing) {
+  if (spacing <= 0.0) {
+    throw std::invalid_argument{"ManhattanGrid: gridSpacing must be > 0"};
+  }
+  const int nx = static_cast<int>(std::floor(area.width / spacing));
+  const int ny = static_cast<int>(std::floor(area.height / spacing));
+  if ((nx + 1) * (ny + 1) < 2) {
+    throw std::invalid_argument{
+        "ManhattanGrid: gridSpacing leaves fewer than two intersections"};
+  }
+  const int ix = std::clamp(static_cast<int>(std::lround(p.x / spacing)), 0,
+                            nx);
+  const int iy = std::clamp(static_cast<int>(std::lround(p.y / spacing)), 0,
+                            ny);
+  return {ix * spacing, iy * spacing};
+}
+
+}  // namespace
+
+ManhattanGrid::ManhattanGrid(Area area, double speedMin, double speedMax,
+                             double pause, double gridSpacing, double turnProb,
+                             geom::Point2 start, sim::Rng rng)
+    : LegMobility(area, speedMin, speedMax, pause,
+                  snapToGrid(start, area, gridSpacing), rng, "ManhattanGrid"),
+      spacing_(gridSpacing),
+      turnProb_(turnProb) {
+  if (turnProb < 0.0 || turnProb > 0.5) {
+    throw std::invalid_argument{"ManhattanGrid: turnProb must be in [0, 0.5]"};
+  }
+  nx_ = static_cast<int>(std::floor(area.width / spacing_));
+  ny_ = static_cast<int>(std::floor(area.height / spacing_));
+  const geom::Point2 snapped = snapToGrid(start, area, spacing_);
+  ix_ = static_cast<int>(std::lround(snapped.x / spacing_));
+  iy_ = static_cast<int>(std::lround(snapped.y / spacing_));
+}
+
+bool ManhattanGrid::validDir(int dir) const {
+  switch (dir) {
+    case 0:
+      return ix_ < nx_;
+    case 1:
+      return iy_ < ny_;
+    case 2:
+      return ix_ > 0;
+    case 3:
+      return iy_ > 0;
+    default:
+      return false;
+  }
+}
+
+geom::Point2 ManhattanGrid::intersection() const {
+  return {ix_ * spacing_, iy_ * spacing_};
+}
+
+geom::Point2 ManhattanGrid::pickDestination(geom::Point2 /*from*/,
+                                            sim::Rng& rng) {
+  if (dir_ < 0) {
+    // First leg: uniform over the directions that have an adjacent
+    // intersection (the constructor guarantees at least one exists).
+    int valid[4];
+    std::size_t count = 0;
+    for (int d = 0; d < 4; ++d) {
+      if (validDir(d)) valid[count++] = d;
+    }
+    dir_ = valid[rng.below(count)];
+  } else {
+    // Straight / left / right weighted by (1 - 2*turnProb, turnProb,
+    // turnProb), filtered to directions that stay on the grid; a dead end
+    // (none valid) forces a U-turn.
+    struct Cand {
+      int dir;
+      double weight;
+    };
+    const Cand wish[3] = {{dir_, 1.0 - 2.0 * turnProb_},
+                          {(dir_ + 1) % 4, turnProb_},
+                          {(dir_ + 3) % 4, turnProb_}};
+    Cand cands[3];
+    std::size_t count = 0;
+    double total = 0.0;
+    for (const Cand& c : wish) {
+      if (!validDir(c.dir)) continue;
+      cands[count++] = c;
+      total += c.weight;
+    }
+    if (count == 0) {
+      dir_ = (dir_ + 2) % 4;  // dead end: U-turn
+    } else if (total <= 0.0) {
+      // Valid directions exist but all carry zero weight (e.g. turnProb
+      // 0.5 in a one-row corridor, where only straight is valid): pick
+      // uniformly among the valid ones rather than faking a dead end.
+      dir_ = cands[rng.below(count)].dir;
+    } else {
+      double u = rng.uniform(0.0, total);
+      dir_ = cands[count - 1].dir;  // fallback against FP edge at u == total
+      for (std::size_t i = 0; i < count; ++i) {
+        if (u < cands[i].weight) {
+          dir_ = cands[i].dir;
+          break;
+        }
+        u -= cands[i].weight;
+      }
+    }
+  }
+  switch (dir_) {
+    case 0:
+      ++ix_;
+      break;
+    case 1:
+      ++iy_;
+      break;
+    case 2:
+      --ix_;
+      break;
+    default:
+      --iy_;
+      break;
+  }
+  return intersection();
+}
+
+// ---------------------------------------------------------------------------
+// HomePointMobility
+// ---------------------------------------------------------------------------
+
+HomePointMobility::HomePointMobility(Area area, double speedMin,
+                                     double speedMax, double pause,
+                                     double stddev, double roamProb,
+                                     geom::Point2 home, geom::Point2 start,
+                                     sim::Rng rng)
+    : LegMobility(area, speedMin, speedMax, pause, clampToArea(start, area),
+                  rng, "HomePointMobility"),
+      stddev_(stddev),
+      roamProb_(roamProb),
+      home_(clampToArea(home, area)) {
+  if (stddev <= 0.0) {
+    throw std::invalid_argument{"HomePointMobility: stddev must be > 0"};
+  }
+  if (roamProb < 0.0 || roamProb > 1.0) {
+    throw std::invalid_argument{
+        "HomePointMobility: roamProb must be in [0, 1]"};
+  }
+}
+
+geom::Point2 HomePointMobility::pickDestination(geom::Point2 /*from*/,
+                                                sim::Rng& rng) {
+  if (roamProb_ > 0.0 && rng.bernoulli(roamProb_)) {
+    return randomPosition(area(), rng);
+  }
+  return clampToArea({home_.x + stddev_ * gaussian(rng),
+                      home_.y + stddev_ * gaussian(rng)},
+                     area());
+}
+
+}  // namespace glr::mobility

@@ -1,0 +1,119 @@
+#pragma once
+/// \file models.hpp
+/// Extension mobility models beyond the paper's random waypoint: random
+/// direction, Gauss-Markov, Manhattan grid, and clustered home-point
+/// mobility. Each one keeps the lazy MobilityModel::positionAt contract and
+/// advances on internal segment boundaries, so positions are pure functions
+/// of the query time (safe under the channel's spatial receiver index) and
+/// every trajectory is a deterministic function of the model's RNG stream.
+
+#include "mobility/mobility.hpp"
+
+namespace glr::mobility {
+
+/// Standard normal draw (Box-Muller over the stream's uniforms).
+[[nodiscard]] double gaussian(sim::Rng& rng);
+
+/// Random direction: travel on a straight uniform heading until the area
+/// border, pause there, pick a new (inward) heading, repeat. Unlike random
+/// waypoint — whose stationary node density piles up in the middle of the
+/// area — random direction spends most time near the perimeter, which
+/// stresses geographic routing with border topologies.
+class RandomDirection final : public LegMobility {
+ public:
+  RandomDirection(Area area, double speedMin, double speedMax, double pause,
+                  geom::Point2 start, sim::Rng rng);
+
+ protected:
+  geom::Point2 pickDestination(geom::Point2 from, sim::Rng& rng) override;
+};
+
+/// Gauss-Markov: speed and heading follow AR(1) processes
+///   s'     = a*s     + (1-a)*meanSpeed + sqrt(1-a^2)*sigmaS*N(0,1)
+///   theta' = a*theta + (1-a)*meanDir   + sqrt(1-a^2)*sigmaD*N(0,1)
+/// refreshed every updateInterval seconds; positions integrate piecewise
+/// linearly between refreshes. meanDir steers toward the interior inside an
+/// edge margin (the classic Camp/Boleng-survey edge handling), and border
+/// crossings within a step reflect. alpha near 1 yields smooth, strongly
+/// autocorrelated motion; alpha 0 degenerates to a memoryless walk.
+class GaussMarkov final : public MobilityModel {
+ public:
+  GaussMarkov(Area area, double speedMin, double speedMax,
+              double updateInterval, double alpha, double meanSpeed,
+              geom::Point2 start, sim::Rng rng);
+
+  geom::Point2 positionAt(sim::SimTime t) override;
+
+ private:
+  void step();
+  void updateProcess();
+  void integrate();
+
+  Area area_;
+  double speedMin_;
+  double speedMax_;
+  double dt_;
+  double alpha_;
+  double meanSpeed_;
+  double sigmaSpeed_;
+  double sigmaDir_;
+  double margin_;
+  sim::Rng rng_;
+
+  geom::Point2 from_;  // position at stepStart_
+  geom::Point2 to_;    // position at stepStart_ + dt_
+  double speed_;
+  double theta_;
+  sim::SimTime stepStart_ = 0.0;
+};
+
+/// Manhattan / grid-constrained mobility: nodes move along the streets of a
+/// `gridSpacing`-metre grid clipped to the area. At each intersection the
+/// node keeps straight with probability 1 - 2*turnProb and turns left/right
+/// with probability turnProb each (invalid directions at the border are
+/// excluded and the rest renormalized; dead ends force a U-turn), then
+/// traverses one block at a per-block uniform speed, pausing `pause`
+/// seconds at intersections.
+class ManhattanGrid final : public LegMobility {
+ public:
+  ManhattanGrid(Area area, double speedMin, double speedMax, double pause,
+                double gridSpacing, double turnProb, geom::Point2 start,
+                sim::Rng rng);
+
+ protected:
+  geom::Point2 pickDestination(geom::Point2 from, sim::Rng& rng) override;
+
+ private:
+  [[nodiscard]] bool validDir(int dir) const;
+  [[nodiscard]] geom::Point2 intersection() const;
+
+  double spacing_;
+  double turnProb_;
+  int nx_ = 0;  // intersections span [0, nx_] x [0, ny_]
+  int ny_ = 0;
+  int ix_ = 0;
+  int iy_ = 0;
+  int dir_ = -1;  // 0 = +x, 1 = +y, 2 = -x, 3 = -y; -1 = not started
+};
+
+/// Clustered / home-point mobility: waypoints are Gaussian around the
+/// node's home point (clamped to the area) instead of uniform, so nodes
+/// congregate in clusters; with probability roamProb a leg targets a
+/// uniform point anywhere, modelling occasional inter-cluster trips. The
+/// scenario layer assigns homes from a shared set of cluster centres.
+class HomePointMobility final : public LegMobility {
+ public:
+  HomePointMobility(Area area, double speedMin, double speedMax, double pause,
+                    double stddev, double roamProb, geom::Point2 home,
+                    geom::Point2 start, sim::Rng rng);
+
+ protected:
+  geom::Point2 pickDestination(geom::Point2 from, sim::Rng& rng) override;
+
+ private:
+  double stddev_;
+  double roamProb_;
+  geom::Point2 home_;
+};
+
+}  // namespace glr::mobility

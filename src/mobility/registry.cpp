@@ -1,0 +1,117 @@
+#include "mobility/registry.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "mobility/models.hpp"
+
+namespace glr::mobility {
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, MobilityFactory> map;
+
+  Registry() {
+    map.emplace("static",
+                [](const ModelParams&, geom::Point2 start, sim::Rng) {
+                  return std::make_unique<StaticMobility>(start);
+                });
+    map.emplace("waypoint", [](const ModelParams& p, geom::Point2 start,
+                               sim::Rng rng) {
+      return std::make_unique<RandomWaypoint>(p.area, p.speedMin, p.speedMax,
+                                              p.pause, start, rng);
+    });
+    map.emplace("walk",
+                [](const ModelParams& p, geom::Point2 start, sim::Rng rng) {
+                  return std::make_unique<RandomWalk>(p.area, p.speedMin,
+                                                      p.speedMax,
+                                                      p.legDuration, start,
+                                                      rng);
+                });
+    map.emplace("direction", [](const ModelParams& p, geom::Point2 start,
+                                sim::Rng rng) {
+      return std::make_unique<RandomDirection>(p.area, p.speedMin, p.speedMax,
+                                               p.pause, start, rng);
+    });
+    map.emplace("gauss_markov", [](const ModelParams& p, geom::Point2 start,
+                                   sim::Rng rng) {
+      const double mean =
+          p.meanSpeed < 0.0 ? 0.5 * (p.speedMin + p.speedMax) : p.meanSpeed;
+      return std::make_unique<GaussMarkov>(p.area, p.speedMin, p.speedMax,
+                                           p.updateInterval, p.alpha, mean,
+                                           start, rng);
+    });
+    map.emplace("manhattan", [](const ModelParams& p, geom::Point2 start,
+                                sim::Rng rng) {
+      return std::make_unique<ManhattanGrid>(p.area, p.speedMin, p.speedMax,
+                                             p.pause, p.gridSpacing,
+                                             p.turnProb, start, rng);
+    });
+    map.emplace("cluster", [](const ModelParams& p, geom::Point2 start,
+                              sim::Rng rng) {
+      return std::make_unique<HomePointMobility>(
+          p.area, p.speedMin, p.speedMax, p.pause, p.clusterStddev,
+          p.roamProb, p.home, start, rng);
+    });
+  }
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace
+
+bool registerMobilityModel(const std::string& name, MobilityFactory factory) {
+  if (name.empty() || !factory) {
+    throw std::invalid_argument{
+        "registerMobilityModel: need a name and a factory"};
+  }
+  Registry& r = registry();
+  std::lock_guard lock{r.mu};
+  return r.map.insert_or_assign(name, std::move(factory)).second;
+}
+
+bool isMobilityModelRegistered(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard lock{r.mu};
+  return r.map.contains(name);
+}
+
+std::unique_ptr<MobilityModel> makeMobilityModel(const std::string& name,
+                                                 const ModelParams& params,
+                                                 geom::Point2 start,
+                                                 sim::Rng rng) {
+  MobilityFactory factory;
+  {
+    Registry& r = registry();
+    std::lock_guard lock{r.mu};
+    const auto it = r.map.find(name);
+    if (it == r.map.end()) {
+      throw std::invalid_argument{"makeMobilityModel: unknown model '" +
+                                  name + "'"};
+    }
+    factory = it->second;  // copy: construct outside the lock
+  }
+  return factory(params, start, rng);
+}
+
+std::vector<std::string> mobilityModelNames() {
+  Registry& r = registry();
+  std::vector<std::string> names;
+  {
+    std::lock_guard lock{r.mu};
+    names.reserve(r.map.size());
+    for (const auto& [name, factory] : r.map) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace glr::mobility

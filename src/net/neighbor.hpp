@@ -76,6 +76,13 @@ class NeighborService {
     onLocationSample_ = std::move(cb);
   }
 
+  /// Forgets all neighbor/location state. The churn layer calls this when
+  /// the node's radio duty-cycles off: on wake, everything in the table
+  /// would be stale beyond the expiry horizon, and a cold start matches
+  /// what a real rebooted radio knows. Beaconing continues unchanged (the
+  /// MAC drops hellos while down).
+  void reset() { table_.clear(); }
+
   /// Fresh 1-hop neighbor ids (heard within expiry), sorted.
   [[nodiscard]] std::vector<int> currentNeighbors() const;
   [[nodiscard]] bool isNeighbor(int id) const;

@@ -8,6 +8,7 @@ World::World(sim::Simulator& sim, const phy::PropagationModel& model,
              const phy::RadioParams& radio, mac::MacParams macParams)
     : sim_(sim),
       macParams_(macParams),
+      nominalRange_(radio.nominalRange),
       channel_(sim, model, phy::solveThresholds(model, radio),
                radio.txPowerW, [this](int id) { return positionOf(id); }) {
   macParams_.bitRateBps = radio.bitRateBps;
@@ -39,6 +40,33 @@ void World::setAgent(int id, std::unique_ptr<Agent> agent) {
 void World::enableSpatialIndex(double maxSpeed, double rebuildInterval) {
   channel_.enableReceiverIndex(channel_.thresholds().rxRange, maxSpeed,
                                rebuildInterval);
+}
+
+void World::setNodeRadius(int id, double range) {
+  (void)nodes_.at(static_cast<std::size_t>(id));  // bounds check
+  channel_.setNodeTxRange(id, range);
+  if (nodeRange_.size() < nodes_.size()) nodeRange_.resize(nodes_.size(), 0.0);
+  nodeRange_[static_cast<std::size_t>(id)] = range;
+}
+
+double World::radioRangeOf(int id) const {
+  const auto i = static_cast<std::size_t>(id);
+  if (i >= nodes_.size()) {
+    throw std::out_of_range{"World::radioRangeOf: bad node id"};
+  }
+  return i < nodeRange_.size() && nodeRange_[i] > 0.0 ? nodeRange_[i]
+                                                      : nominalRange_;
+}
+
+void World::setRadioUp(int id, bool up) {
+  Node& node = nodes_.at(static_cast<std::size_t>(id));
+  if (node.mac->radioUp() == up) return;
+  node.mac->setRadioUp(up);
+  if (node.agent) node.agent->onRadioState(up);
+}
+
+bool World::radioUp(int id) const {
+  return nodes_.at(static_cast<std::size_t>(id)).mac->radioUp();
 }
 
 geom::Point2 World::positionOf(int id) {

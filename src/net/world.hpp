@@ -28,6 +28,10 @@ class Agent {
   /// Outcome of a unicast this node sent (success == MAC-level ACK seen).
   virtual void onTxStatus(const Packet& /*packet*/, int /*dstMac*/,
                           bool /*success*/) {}
+  /// The node's radio duty-cycled on (`up`) or off (churn layer). Agents
+  /// typically drop neighbor state on a down transition — on wake it would
+  /// be stale beyond the freshness horizon anyway.
+  virtual void onRadioState(bool /*up*/) {}
 };
 
 /// Owns the simulator-facing pieces of one scenario: the channel and all
@@ -50,12 +54,28 @@ class World {
   /// Enables the channel's spatial receiver index (see
   /// mac::Channel::enableReceiverIndex). `maxSpeed` must upper-bound every
   /// node's speed in m/s (0 for static topologies). For mobility models
-  /// whose positionAt(t) is a pure function of t (RandomWaypoint, static)
+  /// whose positionAt(t) is a pure function of t (every leg/segment-based
+  /// model: static, waypoint, direction, gauss_markov, manhattan, cluster)
   /// results are identical to the unindexed channel; models that integrate
   /// incrementally per query (RandomWalk) can drift by FP rounding because
   /// the index changes which times get queried. Only the per-frame receiver
   /// enumeration cost drops from O(n) to O(neighborhood).
   void enableSpatialIndex(double maxSpeed, double rebuildInterval = 0.5);
+
+  /// Gives node `id` a heterogeneous radio: its transmit power is scaled so
+  /// its transmissions are receivable out to `range` metres (see
+  /// mac::Channel::setNodeTxRange). Callable before or after
+  /// enableSpatialIndex; the receiver index widens itself.
+  void setNodeRadius(int id, double range);
+
+  /// Node `id`'s transmit range: the per-node override if set, else the
+  /// shared radio's nominal range.
+  [[nodiscard]] double radioRangeOf(int id) const;
+
+  /// Churn layer: duty-cycles node `id`'s radio (see mac::Mac::setRadioUp)
+  /// and notifies its agent via Agent::onRadioState.
+  void setRadioUp(int id, bool up);
+  [[nodiscard]] bool radioUp(int id) const;
 
   /// Current position of node `id` (advances its mobility model).
   [[nodiscard]] geom::Point2 positionOf(int id);
@@ -78,8 +98,10 @@ class World {
 
   sim::Simulator& sim_;
   mac::MacParams macParams_;
+  double nominalRange_;
   mac::Channel channel_;
   std::vector<Node> nodes_;
+  std::vector<double> nodeRange_;  // per-node override; 0 = shared radio
 };
 
 }  // namespace glr::net

@@ -47,6 +47,9 @@ class SprayWaitAgent final : public DtnAgent {
   void start() override;
   void onPacket(const net::Packet& packet, int fromMac) override;
   void originate(int dstNode) override;
+  void onRadioState(bool up) override {
+    if (!up) neighbors_.reset();
+  }
 
   [[nodiscard]] std::size_t storageUsed() const override {
     return buffer_.size();

@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "dtn/metrics.hpp"
+#include "experiment/runner.hpp"
 #include "experiment/scenario.hpp"
 #include "experiment/tables.hpp"
 
@@ -151,6 +154,114 @@ TEST(Metrics, NamedCounters) {
   m.count("x");
   m.count("x", 4);
   EXPECT_EQ(m.counter("x"), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario-diversity plumbing: the new MobilitySpec / ChurnSpec /
+// radius-spread knobs must (a) at their defaults reproduce the PR-2 golden
+// KernelRegression numbers bit-identically — this guards the config
+// refactor that threaded them through scenario.cpp — and (b) when enabled,
+// actually change the simulation.
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioDiversity, DefaultKnobsReproduceKernelGoldenBitIdentically) {
+  // Spell out every new knob at its default; this must be the exact
+  // scenario KernelRegression pins (golden from commit 2ba2f4a).
+  glr::experiment::ScenarioConfig cfg;
+  cfg.protocol = Protocol::kGlr;
+  cfg.simTime = 400.0;
+  cfg.numMessages = 200;
+  cfg.radius = 100.0;
+  cfg.seed = 7;
+  cfg.mobility.model = "waypoint";
+  cfg.churn = glr::experiment::churnPreset("none");
+  cfg.radiusSpreadMin = 1.0;
+  cfg.radiusSpreadMax = 1.0;
+  const auto r = runScenario(cfg);
+
+  EXPECT_EQ(r.created, 200u);
+  EXPECT_EQ(r.delivered, 198u);
+  EXPECT_EQ(r.deliveryRatio, 0.98999999999999999);
+  EXPECT_EQ(r.avgLatency, 45.265223520228908);
+  EXPECT_EQ(r.avgHops, 55.247474747474747);
+  EXPECT_EQ(r.maxPeakStorage, 47.0);
+  EXPECT_EQ(r.avgPeakStorage, 20.920000000000005);
+  EXPECT_EQ(r.macDataTx, 130109u);
+  EXPECT_EQ(r.macRadioDownDrops, 0u);
+  EXPECT_EQ(r.collisions, 3044u);
+  EXPECT_EQ(r.airTimeSeconds, 543.48595200198486);
+  EXPECT_EQ(r.glrDataSent, 50662u);
+  EXPECT_EQ(r.glrCustodyAcksSent, 50526u);
+  EXPECT_EQ(r.eventsExecuted, 2385279u);
+
+  // And the explicit-spec run must be bit-identical to a default-spec run
+  // (same golden scenario, default-constructed diversity knobs).
+  glr::experiment::ScenarioConfig defaults;
+  defaults.protocol = Protocol::kGlr;
+  defaults.simTime = 400.0;
+  defaults.numMessages = 200;
+  defaults.radius = 100.0;
+  defaults.seed = 7;
+  EXPECT_TRUE(glr::experiment::bitIdenticalIgnoringWall(
+      r, runScenario(defaults)));
+}
+
+TEST(ScenarioDiversity, MobilityModelKnobChangesTheRun) {
+  auto base = quickConfig(Protocol::kGlr);
+  const auto waypoint = runScenario(base);
+  base.mobility.model = "direction";
+  const auto direction = runScenario(base);
+  EXPECT_NE(waypoint.eventsExecuted, direction.eventsExecuted);
+  base.mobility.model = "does_not_exist";
+  EXPECT_THROW((void)runScenario(base), std::invalid_argument);
+}
+
+TEST(ScenarioDiversity, ChurnDegradesButDoesNotKillDelivery) {
+  auto cfg = quickConfig(Protocol::kEpidemic);
+  const auto calm = runScenario(cfg);
+  cfg.churn = glr::experiment::churnPreset("heavy");
+  const auto stormy = runScenario(cfg);
+  EXPECT_GT(stormy.macRadioDownDrops, 0u);
+  EXPECT_LE(stormy.deliveryRatio, calm.deliveryRatio);
+  EXPECT_GT(stormy.deliveryRatio, 0.0);  // epidemic survives heavy churn
+}
+
+TEST(ScenarioDiversity, ChurnPresetsPlumb) {
+  EXPECT_FALSE(glr::experiment::churnPreset("none").enabled);
+  EXPECT_TRUE(glr::experiment::churnPreset("light").enabled);
+  EXPECT_TRUE(glr::experiment::churnPreset("moderate").enabled);
+  EXPECT_TRUE(glr::experiment::churnPreset("heavy").enabled);
+  EXPECT_THROW((void)glr::experiment::churnPreset("typo"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioDiversity, HeterogeneousRadiiChangeTheRun) {
+  auto cfg = quickConfig(Protocol::kGlr);
+  const auto uniform = runScenario(cfg);
+  cfg.radiusSpreadMin = 0.7;
+  cfg.radiusSpreadMax = 1.3;
+  const auto spread = runScenario(cfg);
+  EXPECT_NE(uniform.eventsExecuted, spread.eventsExecuted);
+  cfg.radiusSpreadMin = 1.5;  // min > max rejected
+  cfg.radiusSpreadMax = 1.3;
+  EXPECT_THROW((void)runScenario(cfg), std::invalid_argument);
+}
+
+TEST(ScenarioDiversity, EveryMobilityModelRunsEveryProtocol) {
+  for (const std::string model :
+       {"direction", "gauss_markov", "manhattan", "cluster"}) {
+    for (const Protocol p : {Protocol::kGlr, Protocol::kEpidemic,
+                             Protocol::kSprayAndWait}) {
+      SCOPED_TRACE(model + std::string{" x "} + protocolName(p));
+      auto cfg = quickConfig(p);
+      cfg.numMessages = 15;
+      cfg.simTime = 150.0;
+      cfg.mobility.model = model;
+      const auto r = runScenario(cfg);
+      EXPECT_GT(r.created, 0u);
+      EXPECT_GT(r.eventsExecuted, 0u);
+    }
+  }
 }
 
 TEST(Tables, Formatting) {

@@ -89,6 +89,14 @@ TEST(RandomWaypoint, RejectsBadParameters) {
                std::invalid_argument);
 }
 
+TEST(RandomWalk, RejectsBackwardTime) {
+  // Regression: every stateful model must enforce the non-decreasing-time
+  // contract (the base-class requireMonotone guard), not just waypoint.
+  RandomWalk m{kArea, 1.0, 5.0, 10.0, {0, 0}, Rng{8}};
+  (void)m.positionAt(10.0);
+  EXPECT_THROW((void)m.positionAt(5.0), std::invalid_argument);
+}
+
 TEST(RandomWalk, StaysInsideAreaWithReflection) {
   RandomWalk m{{200, 100}, 5.0, 15.0, 10.0, {100, 50}, Rng{9}};
   for (double t = 0.0; t <= 2000.0; t += 0.25) {

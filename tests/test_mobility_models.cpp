@@ -1,0 +1,344 @@
+// Statistical and contract tests for the extension mobility models and the
+// string-keyed registry: boundedness forever, speed limits, pure-function-
+// of-t re-evaluation determinism, model-specific shape properties (grid
+// adherence, velocity autocorrelation, cluster concentration), backwards-
+// query rejection, and registry round-trips.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mobility/models.hpp"
+#include "mobility/registry.hpp"
+
+namespace {
+
+using glr::geom::dist;
+using glr::geom::Point2;
+using glr::mobility::Area;
+using glr::mobility::GaussMarkov;
+using glr::mobility::HomePointMobility;
+using glr::mobility::isMobilityModelRegistered;
+using glr::mobility::makeMobilityModel;
+using glr::mobility::ManhattanGrid;
+using glr::mobility::MobilityModel;
+using glr::mobility::mobilityModelNames;
+using glr::mobility::ModelParams;
+using glr::mobility::RandomDirection;
+using glr::mobility::registerMobilityModel;
+using glr::mobility::StaticMobility;
+using glr::sim::Rng;
+
+constexpr Area kArea{1500.0, 300.0};
+
+ModelParams paperParams() {
+  ModelParams p;
+  p.area = kArea;
+  p.speedMin = 0.5;
+  p.speedMax = 20.0;
+  p.pause = 0.0;
+  p.home = {400.0, 150.0};
+  return p;
+}
+
+/// Every registered model must stay inside the area at all times and never
+/// exceed speedMax between samples (leg turns make chords shorter, never
+/// longer).
+void checkBoundsAndSpeed(MobilityModel& m, double speedMax, double horizon) {
+  const double step = 0.25;
+  Point2 prev = m.positionAt(0.0);
+  for (double t = step; t <= horizon; t += step) {
+    const Point2 p = m.positionAt(t);
+    ASSERT_GE(p.x, -1e-9) << "t=" << t;
+    ASSERT_LE(p.x, kArea.width + 1e-9) << "t=" << t;
+    ASSERT_GE(p.y, -1e-9) << "t=" << t;
+    ASSERT_LE(p.y, kArea.height + 1e-9) << "t=" << t;
+    ASSERT_LE(dist(prev, p) / step, speedMax + 1e-6) << "t=" << t;
+    prev = p;
+  }
+}
+
+/// positionAt must be a pure function of t: an instance queried densely and
+/// a twin queried only at a sparse subset must agree at the common times.
+void checkQueryPatternIndependence(const std::string& name) {
+  const ModelParams p = paperParams();
+  auto dense = makeMobilityModel(name, p, {100, 100}, Rng{99});
+  auto sparse = makeMobilityModel(name, p, {100, 100}, Rng{99});
+  for (double t = 0.0; t <= 200.0; t += 5.0) {
+    for (double u = t - 5.0 + 0.17; u < t && u >= 0.0; u += 0.31) {
+      (void)dense->positionAt(u);
+    }
+    const Point2 a = dense->positionAt(t);
+    const Point2 b = sparse->positionAt(t);
+    ASSERT_EQ(a, b) << name << " diverged at t=" << t;
+  }
+}
+
+TEST(MobilityRegistry, BuiltinsArePresent) {
+  const std::vector<std::string> expected = {
+      "cluster", "direction", "gauss_markov", "manhattan",
+      "static",  "walk",      "waypoint"};
+  for (const auto& name : expected) {
+    EXPECT_TRUE(isMobilityModelRegistered(name)) << name;
+  }
+  const auto names = mobilityModelNames();
+  for (const auto& name : expected) {
+    EXPECT_NE(std::find(names.begin(), names.end(), name), names.end());
+  }
+}
+
+TEST(MobilityRegistry, UnknownModelThrows) {
+  EXPECT_THROW(
+      (void)makeMobilityModel("levy_flight", paperParams(), {0, 0}, Rng{1}),
+      std::invalid_argument);
+  EXPECT_FALSE(isMobilityModelRegistered("levy_flight"));
+}
+
+TEST(MobilityRegistry, CustomModelsPlugIn) {
+  const bool fresh = registerMobilityModel(
+      "test_pinned", [](const ModelParams&, glr::geom::Point2 start, Rng) {
+        return std::make_unique<StaticMobility>(start);
+      });
+  EXPECT_TRUE(fresh);
+  auto m = makeMobilityModel("test_pinned", paperParams(), {7, 8}, Rng{1});
+  EXPECT_EQ(m->positionAt(100.0), (Point2{7, 8}));
+  // Re-registering the same name replaces, not duplicates.
+  EXPECT_FALSE(registerMobilityModel(
+      "test_pinned", [](const ModelParams& p, glr::geom::Point2, Rng) {
+        return std::make_unique<StaticMobility>(
+            glr::geom::Point2{p.area.width, 0.0});
+      }));
+  auto m2 = makeMobilityModel("test_pinned", paperParams(), {7, 8}, Rng{1});
+  EXPECT_EQ(m2->positionAt(0.0), (Point2{kArea.width, 0.0}));
+}
+
+TEST(MobilityRegistry, EveryBuiltinHonorsBoundsAndSpeed) {
+  // Explicit builtin list, not mobilityModelNames(): the registry is
+  // process-global, so enumerating it here would also pick up models other
+  // tests register (order-dependent coverage).
+  for (const std::string name :
+       {"static", "waypoint", "walk", "direction", "gauss_markov",
+        "manhattan", "cluster"}) {
+    SCOPED_TRACE(name);
+    auto m = makeMobilityModel(name, paperParams(), {750, 150}, Rng{3});
+    checkBoundsAndSpeed(*m, 20.0, 1000.0);
+  }
+}
+
+TEST(MobilityRegistry, DeterministicAcrossReEvaluation) {
+  // Leg/segment-based models are pure functions of t regardless of the
+  // query pattern (the property the spatial receiver index relies on).
+  // RandomWalk integrates per query and is exempt by contract.
+  for (const std::string name :
+       {"waypoint", "direction", "gauss_markov", "manhattan", "cluster",
+        "static"}) {
+    SCOPED_TRACE(name);
+    checkQueryPatternIndependence(name);
+  }
+}
+
+TEST(MobilityRegistry, EveryStatefulModelRejectsBackwardsQueries) {
+  for (const std::string name :
+       {"waypoint", "walk", "direction", "gauss_markov", "manhattan",
+        "cluster"}) {
+    SCOPED_TRACE(name);
+    auto m = makeMobilityModel(name, paperParams(), {100, 100}, Rng{8});
+    (void)m->positionAt(10.0);
+    EXPECT_THROW((void)m->positionAt(5.0), std::invalid_argument);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RandomDirection
+// ---------------------------------------------------------------------------
+
+TEST(RandomDirection, TravelsBorderToBorder) {
+  RandomDirection m{kArea, 5.0, 15.0, 2.0, {750, 150}, Rng{11}};
+  // Every pause happens on the border; sample densely and require that we
+  // regularly touch it.
+  int borderHits = 0;
+  for (double t = 0.0; t <= 2000.0; t += 0.5) {
+    const Point2 p = m.positionAt(t);
+    const bool onBorder = p.x < 1e-6 || p.x > kArea.width - 1e-6 ||
+                          p.y < 1e-6 || p.y > kArea.height - 1e-6;
+    if (onBorder) ++borderHits;
+  }
+  EXPECT_GT(borderHits, 10);
+}
+
+TEST(RandomDirection, CoversBothEndsOfTheStrip) {
+  RandomDirection m{kArea, 5.0, 20.0, 0.0, {750, 150}, Rng{12}};
+  bool west = false, east = false;
+  for (double t = 0.0; t <= 4000.0; t += 1.0) {
+    const Point2 p = m.positionAt(t);
+    if (p.x < 200.0) west = true;
+    if (p.x > 1300.0) east = true;
+  }
+  EXPECT_TRUE(west);
+  EXPECT_TRUE(east);
+}
+
+TEST(RandomDirection, RejectsBadParameters) {
+  EXPECT_THROW(RandomDirection({0, 100}, 1, 2, 0, {0, 0}, Rng{1}),
+               std::invalid_argument);
+  EXPECT_THROW(RandomDirection(kArea, 0.0, 2, 0, {0, 0}, Rng{1}),
+               std::invalid_argument);
+  EXPECT_THROW(RandomDirection(kArea, 3, 2, 0, {0, 0}, Rng{1}),
+               std::invalid_argument);
+  EXPECT_THROW(RandomDirection(kArea, 1, 2, -1, {0, 0}, Rng{1}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// GaussMarkov
+// ---------------------------------------------------------------------------
+
+TEST(GaussMarkov, VelocityIsPositivelyAutocorrelated) {
+  GaussMarkov m{kArea, 0.5, 20.0, 1.0, 0.85, 10.0, {750, 150}, Rng{21}};
+  // Per-step velocities via finite differences at the refresh granularity.
+  std::vector<Point2> v;
+  Point2 prev = m.positionAt(0.0);
+  for (double t = 1.0; t <= 2000.0; t += 1.0) {
+    const Point2 p = m.positionAt(t);
+    v.push_back(p - prev);
+    prev = p;
+  }
+  double num = 0.0, den = 0.0;
+  double mx = 0.0, my = 0.0;
+  for (const Point2& d : v) {
+    mx += d.x / static_cast<double>(v.size());
+    my += d.y / static_cast<double>(v.size());
+  }
+  for (std::size_t i = 0; i + 1 < v.size(); ++i) {
+    num += (v[i].x - mx) * (v[i + 1].x - mx) +
+           (v[i].y - my) * (v[i + 1].y - my);
+    den += (v[i].x - mx) * (v[i].x - mx) + (v[i].y - my) * (v[i].y - my);
+  }
+  ASSERT_GT(den, 0.0);
+  EXPECT_GT(num / den, 0.3);  // alpha = 0.85 => strongly persistent motion
+}
+
+TEST(GaussMarkov, AlphaZeroIsMemoryless) {
+  // Degenerate sanity: alpha 0 must still be bounded and in-area (the
+  // autocorrelation structure disappears but the contract holds).
+  GaussMarkov m{kArea, 0.5, 20.0, 1.0, 0.0, 10.0, {750, 150}, Rng{22}};
+  checkBoundsAndSpeed(m, 20.0, 500.0);
+}
+
+TEST(GaussMarkov, RejectsBadParameters) {
+  EXPECT_THROW(GaussMarkov(kArea, 1, 2, 0.0, 0.5, 1.5, {0, 0}, Rng{1}),
+               std::invalid_argument);
+  EXPECT_THROW(GaussMarkov(kArea, 1, 2, 1.0, 1.5, 1.5, {0, 0}, Rng{1}),
+               std::invalid_argument);
+  EXPECT_THROW(GaussMarkov(kArea, 1, 2, 1.0, 0.5, 5.0, {0, 0}, Rng{1}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// ManhattanGrid
+// ---------------------------------------------------------------------------
+
+TEST(ManhattanGrid, StaysOnTheStreets) {
+  const double g = 100.0;
+  ManhattanGrid m{kArea, 5.0, 15.0, 0.0, g, 0.25, {737, 141}, Rng{31}};
+  for (double t = 0.0; t <= 2000.0; t += 0.37) {
+    const Point2 p = m.positionAt(t);
+    const double offX = std::fabs(p.x - g * std::round(p.x / g));
+    const double offY = std::fabs(p.y - g * std::round(p.y / g));
+    // On a street: at least one coordinate sits on a grid line.
+    ASSERT_LT(std::min(offX, offY), 1e-6) << "t=" << t << " p=(" << p.x
+                                          << "," << p.y << ")";
+  }
+}
+
+TEST(ManhattanGrid, VisitsManyIntersections) {
+  const double g = 100.0;
+  // pause 2 s: the node dwells at every intersection long enough for the
+  // 0.5 s sampling below to observe it there.
+  ManhattanGrid m{kArea, 10.0, 20.0, 2.0, g, 0.25, {700, 100}, Rng{32}};
+  std::vector<std::pair<int, int>> seen;
+  for (double t = 0.0; t <= 4000.0; t += 0.5) {
+    const Point2 p = m.positionAt(t);
+    const int ix = static_cast<int>(std::round(p.x / g));
+    const int iy = static_cast<int>(std::round(p.y / g));
+    const double offX = std::fabs(p.x - g * ix);
+    const double offY = std::fabs(p.y - g * iy);
+    if (offX < 1e-6 && offY < 1e-6 &&
+        std::find(seen.begin(), seen.end(), std::make_pair(ix, iy)) ==
+            seen.end()) {
+      seen.emplace_back(ix, iy);
+    }
+  }
+  EXPECT_GT(seen.size(), 10u);
+}
+
+TEST(ManhattanGrid, CorridorWithMaxTurnProbStillTraverses) {
+  // Regression: in a one-row grid (height < spacing => no vertical
+  // streets) with turnProb = 0.5 the straight candidate carries zero
+  // weight; the node must still traverse the corridor (uniform over valid
+  // directions), not ping-pong between two intersections as a fake dead
+  // end.
+  ManhattanGrid m{{1500, 300}, 10.0, 20.0, 0.0, 400.0, 0.5, {50, 50},
+                  Rng{33}};
+  bool west = false, east = false;
+  for (double t = 0.0; t <= 1000.0; t += 1.0) {
+    const Point2 p = m.positionAt(t);
+    if (p.x < 100.0) west = true;
+    if (p.x > 1100.0) east = true;
+  }
+  EXPECT_TRUE(west);
+  EXPECT_TRUE(east);
+}
+
+TEST(ManhattanGrid, RejectsBadParameters) {
+  EXPECT_THROW(ManhattanGrid(kArea, 1, 2, 0, 0.0, 0.25, {0, 0}, Rng{1}),
+               std::invalid_argument);
+  EXPECT_THROW(ManhattanGrid(kArea, 1, 2, 0, 100.0, 0.6, {0, 0}, Rng{1}),
+               std::invalid_argument);
+  // Spacing so coarse only one intersection survives.
+  EXPECT_THROW(ManhattanGrid({90, 90}, 1, 2, 0, 100.0, 0.25, {0, 0}, Rng{1}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// HomePointMobility
+// ---------------------------------------------------------------------------
+
+TEST(HomePoint, ConcentratesAroundHome) {
+  const Point2 home{400, 150};
+  HomePointMobility m{kArea, 2.0, 10.0, 0.0, 50.0, 0.0, home, home, Rng{41}};
+  double meanDist = 0.0;
+  const int samples = 4000;
+  for (int i = 0; i < samples; ++i) {
+    meanDist += dist(m.positionAt(i * 1.0), home) / samples;
+  }
+  // Gaussian waypoints with sigma 50 keep the node within ~2 sigma on
+  // average; a uniform-waypoint node in this strip averages ~400 m away.
+  EXPECT_LT(meanDist, 130.0);
+}
+
+TEST(HomePoint, RoamingVisitsTheWholeArea) {
+  const Point2 home{200, 150};
+  HomePointMobility m{kArea, 5.0, 20.0, 0.0, 50.0, 0.3, home, home, Rng{42}};
+  bool farEast = false;
+  for (double t = 0.0; t <= 4000.0; t += 1.0) {
+    if (m.positionAt(t).x > 1200.0) farEast = true;
+  }
+  EXPECT_TRUE(farEast);
+}
+
+TEST(HomePoint, RejectsBadParameters) {
+  EXPECT_THROW(HomePointMobility(kArea, 1, 2, 0, 0.0, 0.1, {0, 0}, {0, 0},
+                                 Rng{1}),
+               std::invalid_argument);
+  EXPECT_THROW(HomePointMobility(kArea, 1, 2, 0, 50.0, 1.5, {0, 0}, {0, 0},
+                                 Rng{1}),
+               std::invalid_argument);
+}
+
+}  // namespace
