@@ -1,0 +1,202 @@
+/// \file bench_hotpath.cpp
+/// End-to-end hot-path profiling harness (see README "Hot path anatomy").
+///
+/// Times two workloads on the rebuilt network hot path — epoch position
+/// cache, batched SINR with the ring-buffer interference history, payload
+/// arenas, and the scratch-reusing local Delaunay spanner:
+///   * golden   — the mid-size GLR scenario the KernelRegression test pins
+///                (glr-50n-400s-200msg-seed7); its event count is asserted
+///                against the golden, so a speedup can never come from
+///                silently simulating something else.
+///   * worst    — the slowest mobility-matrix cell (epidemic + manhattan +
+///                moderate churn: heaviest buffers, street-constrained
+///                contact bursts, churn event load).
+/// Each workload runs `repeats` times; the JSON records best-of wall and
+/// Mev/s against the frozen PR-2 baseline (BENCH_kernel.json: 0.692 Mev/s
+/// end-to-end).
+///
+/// The binary also installs a counting global allocator and records the
+/// steady-state allocation count of a *repeat* golden run (arenas and
+/// builder scratch already warm — the number CI pins with --max-allocs to
+/// catch allocation regressions on the hot path).
+///
+/// Usage: bench_hotpath [--quick] [--out FILE.json] [--max-allocs N]
+///   --quick       CI mode: scaled-down scenarios, 2 repeats (the second,
+///                 warm repeat is what --max-allocs measures).
+///   --out         machine-readable results (default BENCH_hotpath.json).
+///   --max-allocs  exit nonzero if the warm golden run allocates more than
+///                 N times (heap-profile smoke; 0 disables).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "counting_allocator.hpp"
+#include "experiment/runner.hpp"
+#include "experiment/scenario.hpp"
+
+namespace {
+
+using glr::benchsupport::allocCount;
+
+using glr::experiment::bitIdenticalIgnoringWall;
+using glr::experiment::Protocol;
+using glr::experiment::runScenario;
+using glr::experiment::ScenarioConfig;
+using glr::experiment::ScenarioResult;
+
+/// The KernelRegression golden event count (commit 2ba2f4a); full mode
+/// refuses to report a speedup on a run that diverged from it.
+constexpr std::uint64_t kGoldenEvents = 2385279;
+/// PR-2 end-to-end baseline on this scenario (BENCH_kernel.json).
+constexpr double kBaselineMevPerS = 0.692;
+
+struct Timed {
+  ScenarioResult result;
+  double bestWall = 0.0;
+  double mevPerS = 0.0;
+  long long warmAllocs = 0;  // allocation count of the last (warm) repeat
+};
+
+Timed timeScenario(const ScenarioConfig& cfg, int repeats) {
+  Timed t;
+  for (int r = 0; r < repeats; ++r) {
+    const long long a0 = allocCount();
+    const auto wall0 = std::chrono::steady_clock::now();
+    ScenarioResult res = runScenario(cfg);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall0)
+            .count();
+    t.warmAllocs = allocCount() - a0;
+    if (r == 0) {
+      t.result = res;
+      t.bestWall = wall;
+    } else {
+      if (!bitIdenticalIgnoringWall(t.result, res)) {
+        std::fprintf(stderr,
+                     "bench_hotpath: repeat run diverged (determinism bug)\n");
+        std::exit(1);
+      }
+      t.bestWall = std::min(t.bestWall, wall);
+    }
+  }
+  t.mevPerS = static_cast<double>(t.result.eventsExecuted) / t.bestWall / 1e6;
+  return t;
+}
+
+ScenarioConfig goldenConfig(bool quick) {
+  ScenarioConfig cfg;
+  cfg.protocol = Protocol::kGlr;
+  cfg.radius = 100.0;
+  cfg.seed = 7;
+  if (quick) {
+    cfg.simTime = 120.0;
+    cfg.numMessages = 60;
+  } else {
+    cfg.simTime = 400.0;
+    cfg.numMessages = 200;
+  }
+  return cfg;
+}
+
+ScenarioConfig worstMatrixCell(bool quick) {
+  // Slowest cell of bench_mobility_matrix: epidemic floods under moderate
+  // churn on the Manhattan grid (peak buffers of 400 messages/node).
+  ScenarioConfig cfg;
+  cfg.protocol = Protocol::kEpidemic;
+  cfg.mobility.model = "manhattan";
+  cfg.churn = glr::experiment::churnPreset("moderate");
+  cfg.radius = quick ? 150.0 : 100.0;
+  cfg.numMessages = quick ? 30 : 400;
+  cfg.simTime = quick ? 200.0 : 1200.0;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  long long maxAllocs = 0;
+  std::string outPath = "BENCH_hotpath.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      outPath = argv[++i];
+    } else if (std::strcmp(argv[i], "--max-allocs") == 0 && i + 1 < argc) {
+      maxAllocs = std::atoll(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--out FILE] [--max-allocs N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  const int repeats = quick ? 2 : 3;
+
+  std::printf("hot-path bench (%s mode)\n", quick ? "quick" : "full");
+
+  const auto golden = timeScenario(goldenConfig(quick), repeats);
+  std::printf(
+      "golden   glr-50n-%.0fs-%dmsg-seed7: %llu events, best %.3f s, "
+      "%.3f Mev/s (PR-2 baseline %.3f => %.2fx), warm-run allocs %lld\n",
+      goldenConfig(quick).simTime, goldenConfig(quick).numMessages,
+      static_cast<unsigned long long>(golden.result.eventsExecuted),
+      golden.bestWall, golden.mevPerS, kBaselineMevPerS,
+      golden.mevPerS / kBaselineMevPerS, golden.warmAllocs);
+  if (!quick && golden.result.eventsExecuted != kGoldenEvents) {
+    std::fprintf(stderr,
+                 "bench_hotpath: golden scenario executed %llu events, "
+                 "expected %llu — results are not comparable\n",
+                 static_cast<unsigned long long>(
+                     golden.result.eventsExecuted),
+                 static_cast<unsigned long long>(kGoldenEvents));
+    return 1;
+  }
+
+  const auto worst = timeScenario(worstMatrixCell(quick), repeats);
+  std::printf(
+      "worst    epidemic/manhattan/moderate: %llu events, best %.3f s, "
+      "%.3f Mev/s, warm-run allocs %lld\n",
+      static_cast<unsigned long long>(worst.result.eventsExecuted),
+      worst.bestWall, worst.mevPerS, worst.warmAllocs);
+
+  if (maxAllocs > 0 && golden.warmAllocs > maxAllocs) {
+    std::fprintf(stderr,
+                 "bench_hotpath: warm golden run allocated %lld times, "
+                 "budget is %lld — hot-path allocation regression\n",
+                 golden.warmAllocs, maxAllocs);
+    return 1;
+  }
+
+  FILE* out = std::fopen(outPath.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", outPath.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"hotpath\",\n");
+  std::fprintf(out, "  \"mode\": \"%s\",\n", quick ? "quick" : "full");
+  std::fprintf(out,
+               "  \"golden\": {\"scenario\": \"glr-50n-%.0fs-%dmsg-seed7\", "
+               "\"events\": %llu, \"best_wall_seconds\": %.3f, "
+               "\"mev_per_s\": %.3f, \"baseline_mev_per_s\": %.3f, "
+               "\"speedup_vs_pr2\": %.3f, \"warm_run_allocs\": %lld},\n",
+               goldenConfig(quick).simTime, goldenConfig(quick).numMessages,
+               static_cast<unsigned long long>(golden.result.eventsExecuted),
+               golden.bestWall, golden.mevPerS, kBaselineMevPerS,
+               golden.mevPerS / kBaselineMevPerS, golden.warmAllocs);
+  std::fprintf(out,
+               "  \"matrix_worst\": {\"cell\": "
+               "\"Epidemic/manhattan/moderate\", \"events\": %llu, "
+               "\"best_wall_seconds\": %.3f, \"mev_per_s\": %.3f, "
+               "\"warm_run_allocs\": %lld}\n",
+               static_cast<unsigned long long>(worst.result.eventsExecuted),
+               worst.bestWall, worst.mevPerS, worst.warmAllocs);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", outPath.c_str());
+  return 0;
+}

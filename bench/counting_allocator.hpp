@@ -1,0 +1,67 @@
+#pragma once
+/// \file counting_allocator.hpp
+/// Global-allocator instrumentation shared by the heap-profile smoke
+/// (bench_hotpath --max-allocs) and the zero-allocation steady-state test
+/// (tests/test_hotpath.cpp): every allocation in the including binary bumps
+/// one relaxed counter. Deallocation is not counted — the assertions are
+/// about allocator traffic, and zero news implies zero deletes of new
+/// memory.
+///
+/// IMPORTANT: replacement operator new/delete must not be inline, so this
+/// header DEFINES them — include it from exactly one translation unit per
+/// binary (both current users are single-TU executables).
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace glr::benchsupport {
+
+inline std::atomic<long long> gAllocs{0};
+
+inline void* countedAlloc(std::size_t n) {
+  gAllocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n == 0 ? 1 : n)) return p;
+  throw std::bad_alloc{};
+}
+
+inline void* countedAlignedAlloc(std::size_t n, std::size_t align) {
+  gAllocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(align, (n + align - 1) / align * align)) {
+    return p;
+  }
+  throw std::bad_alloc{};
+}
+
+inline long long allocCount() {
+  return gAllocs.load(std::memory_order_relaxed);
+}
+
+}  // namespace glr::benchsupport
+
+void* operator new(std::size_t n) {
+  return glr::benchsupport::countedAlloc(n);
+}
+void* operator new[](std::size_t n) {
+  return glr::benchsupport::countedAlloc(n);
+}
+void* operator new(std::size_t n, std::align_val_t a) {
+  return glr::benchsupport::countedAlignedAlloc(n,
+                                                static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return glr::benchsupport::countedAlignedAlloc(n,
+                                                static_cast<std::size_t>(a));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

@@ -300,7 +300,7 @@ void GlrAgent::sendCustodyAck(const dtn::CopyKey& key, int to, int attempt) {
   net::Packet ack;
   ack.kind = kGlrAckKind;
   ack.bytes = params_.custodyAckBytes;
-  ack.payload = CustodyAck{key};
+  ack.payload = net::Payload::of(CustodyAck{key});
   if (world_.macOf(self_).send(std::move(ack), to)) {
     ++counters_.custodyAcksSent;
     return;
@@ -328,7 +328,7 @@ bool GlrAgent::sendCopy(const dtn::CopyKey& key, int nextHop) {
   net::Packet packet;
   packet.kind = kGlrDataKind;
   packet.bytes = outMsg.payloadBytes + params_.dataHeaderBytes;
-  packet.payload = outMsg;
+  packet.payload = net::Payload::of(outMsg);
 
   const bool queued = world_.macOf(self_).send(std::move(packet), nextHop);
   if (!queued) {
@@ -364,7 +364,7 @@ void GlrAgent::onPacket(const net::Packet& packet, int fromMac) {
 }
 
 void GlrAgent::handleData(const net::Packet& packet, int fromMac) {
-  const auto* pm = std::any_cast<dtn::Message>(&packet.payload);
+  const auto* pm = packet.payload.get<dtn::Message>();
   if (pm == nullptr) return;
   dtn::Message m = *pm;
   m.hops += 1;
@@ -410,7 +410,7 @@ void GlrAgent::handleData(const net::Packet& packet, int fromMac) {
 }
 
 void GlrAgent::handleAck(const net::Packet& packet) {
-  const auto* ack = std::any_cast<CustodyAck>(&packet.payload);
+  const auto* ack = packet.payload.get<CustodyAck>();
   if (ack == nullptr) return;
   if (buffer_.removeFromCache(ack->key).has_value()) {
     ++counters_.custodyAcksReceived;
@@ -423,7 +423,7 @@ void GlrAgent::onTxStatus(const net::Packet& packet, int /*dstMac*/,
   ++counters_.txFailures;
   // MAC gave up (next hop moved away / collisions): reschedule the copy now
   // rather than waiting for the full cache timeout.
-  if (const auto* pm = std::any_cast<dtn::Message>(&packet.payload)) {
+  if (const auto* pm = packet.payload.get<dtn::Message>()) {
     buffer_.returnToStore(pm->key());
   }
 }

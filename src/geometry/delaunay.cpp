@@ -2,9 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
+#include <limits>
 #include <numeric>
-#include <set>
 #include <stdexcept>
 
 #include "geometry/predicates.hpp"
@@ -22,10 +21,44 @@ struct Tri {
   bool alive = false;
 };
 
+/// Construction workspace. One instance lives per thread and is reused by
+/// every build (the GLR route check triangulates hundreds of thousands of
+/// small neighborhoods per run): all vectors keep their capacity across
+/// builds, and the cavity membership flags are generation-stamped so they
+/// need no clearing. The flat boundary/fan scratch replaces the per-insert
+/// std::map edge-stitching of the original Bowyer–Watson loop — boundary
+/// cycles are a handful of edges, where a linear scan beats a red-black
+/// tree and allocates nothing.
 struct Builder {
   std::vector<Point2> pts;  // input points + 3 super vertices
   std::vector<Tri> tris;
   int lastAlive = kNone;  // walk start hint
+
+  // insert() scratch.
+  std::vector<int> cavity;
+  std::vector<int> stack;
+  std::vector<std::uint32_t> cavityStamp;  // == stamp -> tri is in cavity
+  std::uint32_t stamp = 0;
+  struct BoundaryEdge {
+    int a, b;      // directed so the cavity interior is to the left
+    int outside;   // triangle index across the edge, or kNone
+    int tri;       // fan triangle created over this edge
+  };
+  std::vector<BoundaryEdge> boundary;
+
+  // build() scratch.
+  std::vector<int> sortIdx;
+  std::vector<std::pair<int, int>> edgeScratch;
+
+  void reset(const std::vector<Point2>& points) {
+    pts.assign(points.begin(), points.end());
+    tris.clear();
+    lastAlive = kNone;
+  }
+
+  [[nodiscard]] bool inCavity(int t) const {
+    return cavityStamp[static_cast<std::size_t>(t)] == stamp;
+  }
 
   [[nodiscard]] bool inTriangle(int t, Point2 p, int& exitEdge) const {
     // Returns true if p is inside or on triangle t; otherwise sets exitEdge
@@ -85,48 +118,52 @@ struct Builder {
     const Point2 p = pts[pi];
     const int seed = locate(p);
 
-    // Grow the cavity: all triangles whose circumcircle contains p.
-    std::vector<int> cavity;
-    std::vector<char> inCavity(tris.size(), 0);
-    std::vector<int> stack{seed};
-    inCavity[seed] = 1;
+    // Grow the cavity: all triangles whose circumcircle contains p. The
+    // workspace lives for the whole thread, so the generation stamp can
+    // genuinely reach 2^32 over a long sweep — wrap by rewinding to a
+    // clean slate instead of colliding with stale entries.
+    if (stamp == std::numeric_limits<std::uint32_t>::max()) {
+      std::fill(cavityStamp.begin(), cavityStamp.end(), 0);
+      stamp = 0;
+    }
+    ++stamp;
+    cavityStamp.resize(tris.size(), 0);
+    cavity.clear();
+    stack.clear();
+    stack.push_back(seed);
+    cavityStamp[static_cast<std::size_t>(seed)] = stamp;
     while (!stack.empty()) {
       const int t = stack.back();
       stack.pop_back();
       cavity.push_back(t);
       for (int e = 0; e < 3; ++e) {
         const int n = tris[t].nbr[e];
-        if (n == kNone || inCavity[n]) continue;
+        if (n == kNone || inCavity(n)) continue;
         if (inCircumcircle(n, p)) {
-          inCavity[n] = 1;
+          cavityStamp[static_cast<std::size_t>(n)] = stamp;
           stack.push_back(n);
         }
       }
     }
 
     // Boundary edges of the cavity, each with its outside neighbor.
-    struct BoundaryEdge {
-      int a, b;      // directed so the cavity interior is to the left
-      int outside;   // triangle index across the edge, or kNone
-    };
-    std::vector<BoundaryEdge> boundary;
+    boundary.clear();
     for (int t : cavity) {
       for (int e = 0; e < 3; ++e) {
         const int n = tris[t].nbr[e];
-        if (n != kNone && inCavity[n]) continue;
+        if (n != kNone && inCavity(n)) continue;
         boundary.push_back(
-            {tris[t].v[(e + 1) % 3], tris[t].v[(e + 2) % 3], n});
+            {tris[t].v[(e + 1) % 3], tris[t].v[(e + 2) % 3], n, kNone});
       }
     }
     for (int t : cavity) tris[t].alive = false;
 
-    // Fan of new triangles from p to each boundary edge.
-    std::map<std::pair<int, int>, std::pair<int, int>> edgeOwner;  // (a,b)->(tri,edge)
-    std::vector<int> created;
-    created.reserve(boundary.size());
-    for (const BoundaryEdge& be : boundary) {
+    // Fan of new triangles from p to each boundary edge. Triangle verts are
+    // {pi, a, b}: nbr[0] spans the boundary edge (a, b), nbr[1] the edge
+    // (b, pi), nbr[2] the edge (pi, a).
+    for (BoundaryEdge& be : boundary) {
       const int t = newTriangle(pi, be.a, be.b);
-      created.push_back(t);
+      be.tri = t;
       tris[t].nbr[0] = be.outside;
       if (be.outside != kNone) {
         for (int e = 0; e < 3; ++e) {
@@ -137,58 +174,103 @@ struct Builder {
           }
         }
       }
-      edgeOwner[{pi, be.a}] = {t, 2};  // edge (pi, a) opposite v[2]=b
-      edgeOwner[{be.b, pi}] = {t, 1};  // edge (b, pi) opposite v[1]=a
     }
-    // Stitch fan triangles to each other across shared (pi, x) edges.
-    for (const auto& [edge, owner] : edgeOwner) {
-      const auto rev = edgeOwner.find({edge.second, edge.first});
-      if (rev != edgeOwner.end()) {
-        tris[owner.first].nbr[owner.second] = rev->second.first;
+    // Stitch fan triangles to each other across shared (pi, x) edges: the
+    // neighbor across (pi, a) is the fan triangle whose boundary edge ends
+    // at a (b == a), and across (b, pi) the one whose edge starts at b.
+    // The boundary cycle is a handful of edges, so the linear probe is
+    // cheaper than the edge map it replaces — and each directed edge has at
+    // most one reverse, so the wiring is the same.
+    for (const BoundaryEdge& be : boundary) {
+      for (const BoundaryEdge& other : boundary) {
+        if (other.b == be.a) tris[be.tri].nbr[2] = other.tri;
+        if (other.a == be.b) tris[be.tri].nbr[1] = other.tri;
       }
     }
-    lastAlive = created.empty() ? kNone : created.back();
+    lastAlive = boundary.empty() ? kNone : boundary.back().tri;
   }
 };
+
+/// Per-thread construction scratch (scenarios never share a thread
+/// mid-build; the sweep engine runs whole scenarios per worker).
+Builder& builderScratch() {
+  static thread_local Builder b;
+  return b;
+}
 
 }  // namespace
 
 Delaunay Delaunay::build(const std::vector<Point2>& points) {
   Delaunay result;
-  result.numInput_ = points.size();
-  result.duplicateOf_.resize(points.size());
+  buildInto(result, points);
+  return result;
+}
+
+void Delaunay::buildInto(Delaunay& result, const std::vector<Point2>& points) {
+  const std::size_t n = points.size();
+  result.numInput_ = n;
+  result.realTriangles_.clear();
+  result.realEdges_.clear();
+  result.adjOff_.assign(n + 1, 0);
+  result.adjFlat_.clear();
+  result.duplicateOf_.resize(n);
   std::iota(result.duplicateOf_.begin(), result.duplicateOf_.end(), 0);
-  result.adjacency_.assign(points.size(), {});
 
-  // Merge exact duplicates onto their first occurrence.
-  std::map<std::pair<double, double>, int> firstAt;
-  std::vector<int> uniqueIdx;
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const auto key = std::make_pair(points[i].x, points[i].y);
-    const auto [it, inserted] = firstAt.emplace(key, static_cast<int>(i));
-    if (inserted) {
-      uniqueIdx.push_back(static_cast<int>(i));
-    } else {
-      result.duplicateOf_[i] = it->second;
+  Builder& b = builderScratch();
+
+  // Merge exact duplicates onto their first occurrence: sort indices by
+  // (point, index) and map every later member of an equal run onto the
+  // run's lowest index — the same canonical representative the old
+  // first-insert-wins map produced, without the per-point tree insert.
+  b.sortIdx.resize(n);
+  std::iota(b.sortIdx.begin(), b.sortIdx.end(), 0);
+  std::sort(b.sortIdx.begin(), b.sortIdx.end(), [&points](int x, int y) {
+    if (points[x].x != points[y].x) return points[x].x < points[y].x;
+    if (points[x].y != points[y].y) return points[x].y < points[y].y;
+    return x < y;
+  });
+  std::size_t numUnique = 0;
+  for (std::size_t i = 0; i < n;) {
+    std::size_t j = i + 1;
+    while (j < n && points[b.sortIdx[j]] == points[b.sortIdx[i]]) ++j;
+    const int canon = b.sortIdx[i];  // lowest index in the equal run
+    for (std::size_t k = i + 1; k < j; ++k) {
+      result.duplicateOf_[b.sortIdx[k]] = canon;
     }
+    ++numUnique;
+    i = j;
   }
 
-  if (uniqueIdx.size() < 2) return result;
-  if (uniqueIdx.size() == 2) {
-    result.realEdges_.emplace_back(std::min(uniqueIdx[0], uniqueIdx[1]),
-                                   std::max(uniqueIdx[0], uniqueIdx[1]));
-    result.adjacency_[uniqueIdx[0]].push_back(uniqueIdx[1]);
-    result.adjacency_[uniqueIdx[1]].push_back(uniqueIdx[0]);
-    return result;
+  if (numUnique < 2) return;
+  if (numUnique == 2) {
+    int first = -1, second = -1;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (result.duplicateOf_[i] != static_cast<int>(i)) continue;
+      (first < 0 ? first : second) = static_cast<int>(i);
+    }
+    result.realEdges_.emplace_back(first, second);
+    result.adjOff_[static_cast<std::size_t>(first) + 1] = 1;
+    result.adjOff_[static_cast<std::size_t>(second) + 1] = 1;
+    for (std::size_t v = 0; v < n; ++v) result.adjOff_[v + 1] += result.adjOff_[v];
+    result.adjFlat_.assign(2, 0);
+    result.adjFlat_[result.adjOff_[static_cast<std::size_t>(first)]] = second;
+    result.adjFlat_[result.adjOff_[static_cast<std::size_t>(second)]] = first;
+    return;
   }
 
-  Builder b;
-  b.pts = points;
+  b.reset(points);
 
   // Bounding super-triangle far enough away to act as "infinity".
-  double minX = points[uniqueIdx[0]].x, maxX = minX;
-  double minY = points[uniqueIdx[0]].y, maxY = minY;
-  for (int i : uniqueIdx) {
+  bool haveBounds = false;
+  double minX = 0, maxX = 0, minY = 0, maxY = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (result.duplicateOf_[i] != static_cast<int>(i)) continue;
+    if (!haveBounds) {
+      minX = maxX = points[i].x;
+      minY = maxY = points[i].y;
+      haveBounds = true;
+      continue;
+    }
     minX = std::min(minX, points[i].x);
     maxX = std::max(maxX, points[i].x);
     minY = std::min(minY, points[i].y);
@@ -198,50 +280,84 @@ Delaunay Delaunay::build(const std::vector<Point2>& points) {
   const double cy = (minY + maxY) / 2.0;
   const double extent = std::max({maxX - minX, maxY - minY, 1.0});
   const double m = 1e6 * extent;
-  const int s0 = static_cast<int>(points.size());
+  const int s0 = static_cast<int>(n);
   b.pts.push_back({cx - 2.0 * m, cy - m});
   b.pts.push_back({cx + 2.0 * m, cy - m});
   b.pts.push_back({cx, cy + 2.0 * m});
-  const int seedTri = b.newTriangle(s0, s0 + 1, s0 + 2);
-  b.lastAlive = seedTri;
+  b.lastAlive = b.newTriangle(s0, s0 + 1, s0 + 2);
 
-  for (int i : uniqueIdx) b.insert(i);
+  // Insert unique points in original input order (the order affects which
+  // of several valid triangulations degenerate cocircular sets settle on,
+  // so it must stay what it always was).
+  for (std::size_t i = 0; i < n; ++i) {
+    if (result.duplicateOf_[i] == static_cast<int>(i)) {
+      b.insert(static_cast<int>(i));
+    }
+  }
 
   // Extract real triangles and edges (those not touching super vertices).
-  std::set<std::pair<int, int>> edgeSet;
+  b.edgeScratch.clear();
   for (const Tri& t : b.tris) {
     if (!t.alive) continue;
-    const bool real =
-        t.v[0] < s0 && t.v[1] < s0 && t.v[2] < s0;
-    if (real) result.realTriangles_.push_back(t.v);
+    if (t.v[0] < s0 && t.v[1] < s0 && t.v[2] < s0) {
+      result.realTriangles_.push_back(t.v);
+    }
     for (int e = 0; e < 3; ++e) {
       const int u = t.v[(e + 1) % 3];
       const int v = t.v[(e + 2) % 3];
       if (u < s0 && v < s0) {
-        edgeSet.emplace(std::min(u, v), std::max(u, v));
+        b.edgeScratch.emplace_back(std::min(u, v), std::max(u, v));
       }
     }
   }
-  result.realEdges_.assign(edgeSet.begin(), edgeSet.end());
+  std::sort(b.edgeScratch.begin(), b.edgeScratch.end());
+  b.edgeScratch.erase(
+      std::unique(b.edgeScratch.begin(), b.edgeScratch.end()),
+      b.edgeScratch.end());
+  result.realEdges_.assign(b.edgeScratch.begin(), b.edgeScratch.end());
+
+  // CSR adjacency. Appending both directions in lexicographic edge order
+  // fills every vertex's slice in ascending order ((a, v) edges with a < v
+  // sort before every (v, b) edge), so no per-slice sort is needed.
   for (const auto& [u, v] : result.realEdges_) {
-    result.adjacency_[u].push_back(v);
-    result.adjacency_[v].push_back(u);
+    ++result.adjOff_[static_cast<std::size_t>(u) + 1];
+    ++result.adjOff_[static_cast<std::size_t>(v) + 1];
   }
-  for (auto& adj : result.adjacency_) std::sort(adj.begin(), adj.end());
-  return result;
+  for (std::size_t v = 0; v < n; ++v) {
+    result.adjOff_[v + 1] += result.adjOff_[v];
+  }
+  result.adjFlat_.resize(result.adjOff_[n]);
+  {
+    // Reuse sortIdx as the per-vertex fill cursor.
+    b.sortIdx.assign(n, 0);
+    for (const auto& [u, v] : result.realEdges_) {
+      const auto su = static_cast<std::size_t>(u);
+      const auto sv = static_cast<std::size_t>(v);
+      result.adjFlat_[result.adjOff_[su] +
+                      static_cast<std::uint32_t>(b.sortIdx[su]++)] = v;
+      result.adjFlat_[result.adjOff_[sv] +
+                      static_cast<std::uint32_t>(b.sortIdx[sv]++)] = u;
+    }
+  }
 }
 
 std::vector<int> Delaunay::neighborsOf(int v) const {
-  if (v < 0 || static_cast<std::size_t>(v) >= adjacency_.size()) {
-    throw std::out_of_range{"Delaunay::neighborsOf: bad vertex"};
+  const auto span = neighbors(v);
+  return {span.begin(), span.end()};
+}
+
+std::span<const int> Delaunay::neighbors(int v) const {
+  if (v < 0 || static_cast<std::size_t>(v) + 1 >= adjOff_.size()) {
+    throw std::out_of_range{"Delaunay::neighbors: bad vertex"};
   }
-  return adjacency_[v];
+  const auto i = static_cast<std::size_t>(v);
+  return {adjFlat_.data() + adjOff_[i], adjFlat_.data() + adjOff_[i + 1]};
 }
 
 bool Delaunay::hasEdge(int u, int v) const {
-  if (u < 0 || static_cast<std::size_t>(u) >= adjacency_.size()) return false;
-  const auto& adj = adjacency_[u];
-  return std::binary_search(adj.begin(), adj.end(), v);
+  if (u < 0 || static_cast<std::size_t>(u) + 1 >= adjOff_.size()) return false;
+  const auto span = neighbors(u);
+  return std::binary_search(span.begin(), span.end(), v);
 }
 
 std::vector<int> convexHull(const std::vector<Point2>& points) {

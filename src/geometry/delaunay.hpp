@@ -12,6 +12,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -28,6 +29,13 @@ class Delaunay {
   /// induced by the triangulation with the bounding super-triangle).
   static Delaunay build(const std::vector<Point2>& points);
 
+  /// build() into an existing object, reusing its storage. The GLR route
+  /// check triangulates ~10 small neighborhoods per invocation and discards
+  /// each result immediately; rebuilding into one scratch object (plus the
+  /// thread-local builder scratch inside) makes the steady-state spanner
+  /// path allocation-free. Produces exactly what build() produces.
+  static void buildInto(Delaunay& out, const std::vector<Point2>& points);
+
   /// CCW-oriented triangles on input points only (super vertices removed).
   [[nodiscard]] const std::vector<std::array<int, 3>>& triangles() const {
     return realTriangles_;
@@ -40,6 +48,9 @@ class Delaunay {
 
   /// Adjacent input vertices of `v` in the triangulation.
   [[nodiscard]] std::vector<int> neighborsOf(int v) const;
+
+  /// Allocation-free view of neighborsOf (ascending vertex ids).
+  [[nodiscard]] std::span<const int> neighbors(int v) const;
 
   /// True if `u` and `v` share a triangulation edge.
   [[nodiscard]] bool hasEdge(int u, int v) const;
@@ -55,7 +66,12 @@ class Delaunay {
   std::size_t numInput_ = 0;
   std::vector<std::array<int, 3>> realTriangles_;
   std::vector<std::pair<int, int>> realEdges_;
-  std::vector<std::vector<int>> adjacency_;
+  // Adjacency in CSR form: neighbors of v are adjFlat_[adjOff_[v] ..
+  // adjOff_[v+1]), sorted ascending. Flat arrays so buildInto can reuse
+  // capacity across rebuilds (a vector-of-vectors would reallocate each
+  // inner list every time).
+  std::vector<std::uint32_t> adjOff_;
+  std::vector<int> adjFlat_;
   std::vector<int> duplicateOf_;
 };
 

@@ -48,6 +48,7 @@ void Channel::enableReceiverIndex(double maxRange, double maxSpeed,
   indexMaxRange_ = maxRange + 1e-6;
   indexSlack_ = maxSpeed * rebuildInterval;
   indexRebuildInterval_ = rebuildInterval;
+  effectiveQueryRange_ = std::max(indexMaxRange_, maxNodeRange_ + 1e-6);
   indexGrid_.reset();
 }
 
@@ -66,6 +67,7 @@ void Channel::setNodeTxRange(int nodeId, double range) {
   if (txPowerOf_.size() <= id) txPowerOf_.resize(id + 1, 0.0);
   txPowerOf_[id] = txPowerW_ * (thresholds_.rxThresholdW / atRange);
   maxNodeRange_ = std::max(maxNodeRange_, range);
+  effectiveQueryRange_ = std::max(indexMaxRange_, maxNodeRange_ + 1e-6);
   indexGrid_.reset();  // candidate queries must widen to the new range
 }
 
@@ -76,7 +78,7 @@ double Channel::txPowerFor(int nodeId) const {
 }
 
 const std::vector<int>& Channel::receiverCandidates(geom::Point2 center) {
-  const double queryRange = std::max(indexMaxRange_, maxNodeRange_ + 1e-6);
+  const double queryRange = effectiveQueryRange_;
   const sim::SimTime now = sim_.now();
   if (!indexGrid_ || now - indexBuiltAt_ > indexRebuildInterval_) {
     std::vector<geom::Point2> pts;
@@ -103,6 +105,15 @@ const std::vector<int>& Channel::receiverCandidates(geom::Point2 center) {
   return candidateScratch_;
 }
 
+void Channel::gatherPositions(const int* ids, std::size_t n,
+                              geom::Point2* out) {
+  if (positionBatch_) {
+    positionBatch_(ids, n, out);
+    return;
+  }
+  for (std::size_t k = 0; k < n; ++k) out[k] = positionOf_(ids[k]);
+}
+
 double Channel::powerAt(const ActiveTx& tx, geom::Point2 rxPos) const {
   return model_.rxPower(txPowerFor(tx.sender), geom::dist(tx.senderPos, rxPos));
 }
@@ -113,6 +124,8 @@ void Channel::startTransmission(int sender, Frame frame, double duration) {
   tx.frame = std::move(frame);
   tx.start = sim_.now();
   tx.end = sim_.now() + duration;
+  tx.maxEndUpTo =
+      history_.empty() ? tx.end : std::max(history_.back().maxEndUpTo, tx.end);
   tx.senderPos = positionOf_(sender);
   const std::uint64_t txId = nextTxId_++;
   history_.push_back(std::move(tx));
@@ -128,8 +141,14 @@ bool Channel::mediumBusy(int nodeId) const {
     return true;
   }
   const geom::Point2 pos = positionOf_(nodeId);
-  for (const ActiveTx& tx : history_) {
-    if (tx.end <= sim_.now() || tx.sender == nodeId) continue;
+  const sim::SimTime now = sim_.now();
+  // Backward over the start-sorted ring; the prefix-max bound proves every
+  // earlier entry has ended, so only the genuinely active suffix pays the
+  // propagation math.
+  for (std::size_t j = history_.size(); j-- > 0;) {
+    const ActiveTx& tx = history_[j];
+    if (tx.maxEndUpTo <= now) break;
+    if (tx.end <= now || tx.sender == nodeId) continue;
     if (powerAt(tx, pos) >= thresholds_.csThresholdW) return true;
   }
   return false;
@@ -138,8 +157,11 @@ bool Channel::mediumBusy(int nodeId) const {
 sim::SimTime Channel::nextIdleHint(int nodeId) const {
   const geom::Point2 pos = positionOf_(nodeId);
   sim::SimTime t = sim_.now();
-  for (const ActiveTx& tx : history_) {
-    if (tx.end <= sim_.now() || tx.sender == nodeId) continue;
+  const sim::SimTime now = sim_.now();
+  for (std::size_t j = history_.size(); j-- > 0;) {
+    const ActiveTx& tx = history_[j];
+    if (tx.maxEndUpTo <= now) break;
+    if (tx.end <= now || tx.sender == nodeId) continue;
     if (powerAt(tx, pos) >= thresholds_.csThresholdW) t = std::max(t, tx.end);
   }
   return t;
@@ -147,67 +169,118 @@ sim::SimTime Channel::nextIdleHint(int nodeId) const {
 
 void Channel::finishTransmission(std::uint64_t txId) {
   if (txId < historyBaseId_) return;  // already pruned (should not happen)
-  const ActiveTx& tx = history_[txId - historyBaseId_];
+  // Copy the transmission's fields out of the ring up front: the delivery
+  // loop below runs arbitrary agent code, and unlike the std::deque this
+  // ring replaced, RingDeque growth invalidates references — a callback
+  // that (now or in some future protocol) transmits synchronously must not
+  // leave these dangling. The Frame copy is refcount + SSO work only.
+  const int sender = history_[txId - historyBaseId_].sender;
+  const sim::SimTime txStart = history_[txId - historyBaseId_].start;
+  const sim::SimTime txEnd = history_[txId - historyBaseId_].end;
+  const geom::Point2 senderPos = history_[txId - historyBaseId_].senderPos;
+  const Frame frame = history_[txId - historyBaseId_].frame;
 
   // A churned sender whose radio shut off mid-frame truncated the
   // transmission: nobody decodes it (the symmetric rule to the per-receiver
   // radioUpSince check below). The frame still interferes — the history
   // scan for collisions is unaffected — it just cannot be received.
-  Mac* senderMac = static_cast<std::size_t>(tx.sender) < macs_.size()
-                       ? macs_[static_cast<std::size_t>(tx.sender)]
+  Mac* senderMac = static_cast<std::size_t>(sender) < macs_.size()
+                       ? macs_[static_cast<std::size_t>(sender)]
                        : nullptr;
   const bool senderCompleted =
-      senderMac == nullptr || senderMac->radioUpSince(tx.start);
+      senderMac == nullptr || senderMac->radioUpSince(txStart);
 
-  const auto tryDeliver = [this, &tx](int v) {
-    Mac* mac = static_cast<std::size_t>(v) < macs_.size()
-                   ? macs_[static_cast<std::size_t>(v)]
-                   : nullptr;
-    if (mac == nullptr || v == tx.sender) return;
-    // Duty-cycled receivers must have been up for the frame's whole
-    // airtime (a radio that woke mid-frame heard only a fragment).
-    if (!mac->radioUpSince(tx.start)) return;
-
-    const geom::Point2 rxPos = positionOf_(v);
-    const double signal = powerAt(tx, rxPos);
-    if (signal < thresholds_.rxThresholdW) return;  // out of range
-
-    if (mac->transmittedDuring(tx.start, tx.end)) {
-      ++stats_.rxWhileTx;
-      return;
-    }
-
-    bool collided = false;
-    for (const ActiveTx& other : history_) {
-      if (other.sender == tx.sender || other.sender == v) continue;
-      if (other.start >= tx.end || tx.start >= other.end) continue;
-      const double p = powerAt(other, rxPos);
-      if (p >= thresholds_.csThresholdW && p * kCaptureRatio > signal) {
-        collided = true;
-        break;
+  if (senderCompleted) {
+    // Stage 1 — candidate ids, ascending (the exact full-scan visit order):
+    // attached, not the sender, radio up for the frame's whole airtime (a
+    // radio that woke mid-frame heard only a fragment).
+    candIds_.clear();
+    const auto consider = [this, sender, txStart](int v) {
+      Mac* mac = static_cast<std::size_t>(v) < macs_.size()
+                     ? macs_[static_cast<std::size_t>(v)]
+                     : nullptr;
+      if (mac == nullptr || v == sender) return;
+      if (!mac->radioUpSince(txStart)) return;
+      candIds_.push_back(v);
+    };
+    if (frame.dst != net::kBroadcast) {
+      // Unicast: the destination is the only possible receiver.
+      consider(frame.dst);
+    } else if (indexEnabled_) {
+      // Broadcast with the receiver index: enumerate only nodes that can
+      // possibly be in range (candidates are padded for snapshot drift and
+      // sorted, so decisions and event order match the full scan exactly).
+      for (int v : receiverCandidates(senderPos)) consider(v);
+    } else {
+      for (std::size_t v = 0; v < macs_.size(); ++v) {
+        consider(static_cast<int>(v));
       }
     }
-    if (collided) {
-      ++stats_.collisions;
-      return;
-    }
-    ++stats_.framesDelivered;
-    mac->onFrameReceived(tx.frame);
-  };
 
-  if (!senderCompleted) {
-    // truncated: fall through to history pruning only
-  } else if (tx.frame.dst != net::kBroadcast) {
-    // Unicast: the destination is the only possible receiver.
-    tryDeliver(tx.frame.dst);
-  } else if (indexEnabled_) {
-    // Broadcast with the receiver index: enumerate only nodes that can
-    // possibly be in range (candidates are padded for snapshot drift and
-    // sorted, so decisions and event order match the full scan exactly).
-    for (int v : receiverCandidates(tx.senderPos)) tryDeliver(v);
-  } else {
-    for (std::size_t v = 0; v < macs_.size(); ++v) {
-      tryDeliver(static_cast<int>(v));
+    const std::size_t n = candIds_.size();
+    if (n > 0) {
+      // Stage 2 — gather candidate positions in one batch call, then
+      // distance² and rx-power over flat arrays (one virtual dispatch for
+      // the whole set).
+      candPos_.resize(n);
+      candDist2_.resize(n);
+      candSignal_.resize(n);
+      gatherPositions(candIds_.data(), n, candPos_.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        candDist2_[i] = geom::dist2(senderPos, candPos_[i]);
+      }
+      model_.rxPowerFromDist2(txPowerFor(sender), candDist2_.data(),
+                              candSignal_.data(), n);
+
+      // Stage 3 — the overlap set, once per transmission instead of one
+      // history scan per receiver: every entry that was on air during
+      // [txStart, txEnd) from a different sender. The backward walk stops
+      // at the prefix-max bound exactly like mediumBusy. Ring *indices*
+      // (not references) survive a mid-delivery push_back, so the collision
+      // loop re-fetches entries by index.
+      overlapIdx_.clear();
+      overlapPower_.clear();
+      for (std::size_t j = history_.size(); j-- > 0;) {
+        const ActiveTx& other = history_[j];
+        if (other.maxEndUpTo <= txStart) break;
+        if (other.sender == sender) continue;
+        if (other.start >= txEnd || txStart >= other.end) continue;
+        overlapIdx_.push_back(j);
+        overlapPower_.push_back(txPowerFor(other.sender));
+      }
+
+      // Stage 4 — per-candidate decisions, in candidate (ascending id)
+      // order, with checks in the same order as the old per-receiver path:
+      // range, busy-transmitting, collision.
+      for (std::size_t i = 0; i < n; ++i) {
+        const double signal = candSignal_[i];
+        if (signal < thresholds_.rxThresholdW) continue;  // out of range
+        const int v = candIds_[i];
+        Mac* mac = macs_[static_cast<std::size_t>(v)];
+        if (mac->transmittedDuring(txStart, txEnd)) {
+          ++stats_.rxWhileTx;
+          continue;
+        }
+        bool collided = false;
+        for (std::size_t k = 0; k < overlapIdx_.size(); ++k) {
+          const ActiveTx& other = history_[overlapIdx_[k]];
+          const int otherSender = other.sender;
+          const geom::Point2 otherPos = other.senderPos;
+          if (otherSender == v) continue;
+          const double p = model_.rxPower(overlapPower_[k],
+                                          geom::dist(otherPos, candPos_[i]));
+          if (p >= thresholds_.csThresholdW && p * kCaptureRatio > signal) {
+            collided = true;
+            break;
+          }
+        }
+        if (collided) {
+          ++stats_.collisions;
+          continue;
+        }
+        ++stats_.framesDelivered;
+        mac->onFrameReceived(frame);
+      }
     }
   }
 

@@ -10,9 +10,20 @@
 /// standard simplified 802.11 PHY used by packet-level simulators; it keeps
 /// exactly the mechanisms the paper's results rest on — shared-medium
 /// contention, hidden terminals, collision loss.
+///
+/// Hot-path structure (see README "Hot path anatomy"): delivery decisions
+/// are batched per transmission — candidate ids are gathered once, their
+/// positions pulled from the world's epoch position cache in one call,
+/// distance² and rx-power computed over flat arrays, and the interference
+/// history consulted through a per-transmission overlap set instead of a
+/// full scan per receiver. The history itself is a time-sorted ring buffer
+/// (sorted by start; pruned incrementally from the front) whose entries
+/// carry a running prefix-max of their end times, so "which transmissions
+/// can still matter at time t" is a backward walk that stops exactly where
+/// `prefix-max end <= t`. All of this is bit-identical to the per-receiver
+/// scan it replaced — pinned by the KernelRegression golden.
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -21,6 +32,7 @@
 #include "geometry/spatial_grid.hpp"
 #include "mac/frame.hpp"
 #include "phy/propagation.hpp"
+#include "sim/ring_deque.hpp"
 #include "sim/simulator.hpp"
 
 namespace glr::mac {
@@ -39,6 +51,12 @@ struct ChannelStats {
 class Channel {
  public:
   using PositionFn = std::function<geom::Point2(int nodeId)>;
+  /// Batch position gather: out[k] = position of ids[k], all at the current
+  /// sim time. Installed by net::World so a candidate sweep costs one
+  /// dispatch into the epoch position cache instead of one PositionFn call
+  /// per receiver.
+  using PositionBatchFn =
+      std::function<void(const int* ids, std::size_t n, geom::Point2* out)>;
 
   Channel(sim::Simulator& sim, const phy::PropagationModel& model,
           phy::RadioThresholds thresholds, double txPowerW,
@@ -46,6 +64,10 @@ class Channel {
 
   /// Registers a MAC endpoint; its id must be dense from 0.
   void attach(Mac* mac);
+
+  /// Optional batch position source (see PositionBatchFn). When unset, the
+  /// per-node PositionFn is used for gathers too.
+  void setPositionBatchFn(PositionBatchFn fn) { positionBatch_ = std::move(fn); }
 
   /// Enables the spatial receiver index: candidate receivers for a frame are
   /// looked up in a uniform-grid snapshot of node positions instead of
@@ -96,6 +118,12 @@ class Channel {
     Frame frame;
     sim::SimTime start = 0;
     sim::SimTime end = 0;
+    /// max(end) over this entry and every earlier one still in the ring.
+    /// Monotone in ring position, so a backward relevance walk ("end >
+    /// t?") stops exactly at the first entry whose prefix-max rules the
+    /// whole earlier ring out. Front pops only loosen the bound (it stays
+    /// an upper bound), never break it.
+    sim::SimTime maxEndUpTo = 0;
     geom::Point2 senderPos;
   };
 
@@ -107,15 +135,19 @@ class Channel {
   /// snapshot if stale. Only called when the receiver index is enabled.
   [[nodiscard]] const std::vector<int>& receiverCandidates(
       geom::Point2 center);
+  void gatherPositions(const int* ids, std::size_t n, geom::Point2* out);
 
   sim::Simulator& sim_;
   const phy::PropagationModel& model_;
   phy::RadioThresholds thresholds_;
   double txPowerW_;
   PositionFn positionOf_;
+  PositionBatchFn positionBatch_;
   std::vector<Mac*> macs_;
 
-  std::deque<ActiveTx> history_;  // active + recently ended, pruned lazily
+  // Active + recently ended transmissions, start-sorted, pruned lazily from
+  // the front (ring indices shift by historyBaseId_).
+  sim::RingDeque<ActiveTx> history_;
   std::uint64_t nextTxId_ = 0;
   std::uint64_t historyBaseId_ = 0;
   ChannelStats stats_;
@@ -131,10 +163,22 @@ class Channel {
   double indexMaxRange_ = 0.0;
   double indexSlack_ = 0.0;  // maxSpeed * rebuildInterval
   double indexRebuildInterval_ = 0.5;
+  /// Cached max(indexMaxRange_, maxNodeRange_ + 1e-6): the radius every
+  /// candidate query uses. Updated in enableReceiverIndex/setNodeTxRange
+  /// instead of being recomputed per frame.
+  double effectiveQueryRange_ = 0.0;
   sim::SimTime indexBuiltAt_ = -1.0;
   std::unique_ptr<geom::SpatialGrid> indexGrid_;
   std::vector<int> indexToMacId_;   // grid point index -> MAC id
   std::vector<int> candidateScratch_;
+
+  // Per-transmission delivery scratch (flat SoA arrays, reused).
+  std::vector<int> candIds_;
+  std::vector<geom::Point2> candPos_;
+  std::vector<double> candDist2_;
+  std::vector<double> candSignal_;
+  std::vector<std::size_t> overlapIdx_;   // ring indices of interferers
+  std::vector<double> overlapPower_;      // their transmit powers
 };
 
 }  // namespace glr::mac

@@ -102,8 +102,7 @@ void Mac::transmitHead() {
   transmitting_ = true;
   lastTxStart_ = sim_.now();
   lastTxEnd_ = sim_.now() + duration;
-  recentTx_.emplace_back(lastTxStart_, lastTxEnd_);
-  if (recentTx_.size() > 16) recentTx_.pop_front();
+  recordOwnTx(lastTxStart_, lastTxEnd_);
   ++stats_.dataTx;
   if (out.attempts > 0) ++stats_.retries;
 
@@ -209,8 +208,7 @@ void Mac::onFrameReceived(const Frame& frame) {
       ack.dst = dst;
       ack.seq = seq;
       ack.bytes = params_.ackBytes;
-      recentTx_.emplace_back(sim_.now(), sim_.now() + ackDur);
-      if (recentTx_.size() > 16) recentTx_.pop_front();
+      recordOwnTx(sim_.now(), sim_.now() + ackDur);
       ++stats_.ackTx;
       channel_.startTransmission(self_, std::move(ack), ackDur);
     });
@@ -238,7 +236,8 @@ void Mac::onFrameReceived(const Frame& frame) {
 }
 
 bool Mac::transmittedDuring(sim::SimTime start, sim::SimTime end) const {
-  for (const auto& [s, e] : recentTx_) {
+  for (std::size_t i = 0; i < recentTxCount_; ++i) {
+    const auto& [s, e] = recentTx_[i];
     if (s <= end && start < e) return true;
   }
   return false;

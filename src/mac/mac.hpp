@@ -10,8 +10,8 @@
 /// busy — fairness differs slightly from real DCF but saturation behaviour
 /// (collision loss, delay growth under load) is preserved.
 
+#include <array>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <utility>
 #include <vector>
@@ -19,6 +19,7 @@
 #include "mac/channel.hpp"
 #include "mac/frame.hpp"
 #include "net/packet.hpp"
+#include "sim/ring_deque.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 
@@ -107,6 +108,12 @@ class Mac {
     std::uint64_t seq = 0;
   };
 
+  void recordOwnTx(sim::SimTime start, sim::SimTime end) {
+    recentTx_[recentTxNext_] = {start, end};
+    recentTxNext_ = (recentTxNext_ + 1) % recentTx_.size();
+    if (recentTxCount_ < recentTx_.size()) ++recentTxCount_;
+  }
+
   void scheduleAttempt();
   void attempt();
   void transmitHead();
@@ -122,7 +129,8 @@ class Mac {
   MacParams params_;
   sim::Rng rng_;
 
-  std::deque<Outgoing> queue_;
+  // Grow-only ring (no per-block allocator churn as the FIFO slides).
+  sim::RingDeque<Outgoing> queue_;
   bool attemptScheduled_ = false;
   bool transmitting_ = false;
   bool awaitingAck_ = false;
@@ -138,8 +146,11 @@ class Mac {
   sim::EventHandle ackTimeoutHandle_;
   sim::SimTime lastTxStart_ = -1.0;
   sim::SimTime lastTxEnd_ = -1.0;
-  // Own recent transmissions (DATA + ACK), for rx-while-tx decisions.
-  std::deque<std::pair<sim::SimTime, sim::SimTime>> recentTx_;
+  // Own recent transmissions (DATA + ACK), for rx-while-tx decisions: a
+  // fixed 16-slot ring (the old bounded deque, without its block churn).
+  std::array<std::pair<sim::SimTime, sim::SimTime>, 16> recentTx_{};
+  std::size_t recentTxCount_ = 0;  // valid entries (caps at 16)
+  std::size_t recentTxNext_ = 0;   // slot the next record overwrites
 
   // Duplicate detection: last sequence number seen per source.
   std::vector<std::pair<int, std::uint64_t>> lastSeqFrom_;

@@ -38,7 +38,11 @@ class MobilityModel {
   /// incrementally advanced trajectory, so it throws (in every build type —
   /// it doubles as the simulation's clock-monotonicity tripwire: mobility is
   /// queried from almost every event, so a kernel that ever ran time
-  /// backwards would be caught here immediately).
+  /// backwards would be caught here immediately). The world's epoch
+  /// position cache (net::World::positionOf) leans on the same guard: a
+  /// cache entry is valid only at the exact time it was computed, and this
+  /// throw is what guarantees the clock can never move backwards under a
+  /// live entry.
   void requireMonotone(sim::SimTime t, const char* model);
 
  private:

@@ -20,6 +20,9 @@ NeighborService::NeighborService(sim::Simulator& sim, mac::Mac& mac, int self,
   if (params_.helloInterval <= 0.0 || params_.expiry <= 0.0) {
     throw std::invalid_argument{"NeighborService: bad interval/expiry"};
   }
+  // Size the 1-hop table for the expected neighborhood up front so the
+  // per-hello inserts on the hot path never rehash.
+  table_.reserve(params_.expectedNeighbors);
 }
 
 bool NeighborService::fresh(const NeighborRecord& r) const {
@@ -33,13 +36,18 @@ void NeighborService::start() {
 }
 
 void NeighborService::sendHello() {
-  HelloPayload hello;
+  // The payload block comes from the per-thread hello arena: `neighbors` is
+  // the recycled block's own vector, so clear() + refill is the reused
+  // scratch buffer — its capacity persists across beacons and the refill
+  // never allocates once the neighborhood size has been seen.
+  Payload payload = Payload::create<HelloPayload>();
+  HelloPayload& hello = payload.mutableValue<HelloPayload>();
   hello.id = self_;
   hello.pos = myPosition_();
   hello.sentAt = sim_.now();
+  hello.neighbors.clear();
   std::size_t bytes = params_.baseBytes;
   if (params_.includeNeighborList) {
-    hello.neighbors.reserve(table_.size());
     for (const auto& [id, rec] : table_) {
       if (!fresh(rec)) continue;
       hello.neighbors.push_back({id, rec.pos, rec.heard});
@@ -49,7 +57,7 @@ void NeighborService::sendHello() {
   Packet p;
   p.bytes = bytes;
   p.kind = kHelloKind;
-  p.payload = std::move(hello);
+  p.payload = std::move(payload);
   mac_.send(std::move(p), kBroadcast);
   ++hellosSent_;
 
@@ -61,7 +69,7 @@ void NeighborService::sendHello() {
 
 bool NeighborService::handlePacket(const Packet& packet, int /*fromMac*/) {
   if (packet.kind != kHelloKind) return false;
-  const auto* hello = std::any_cast<HelloPayload>(&packet.payload);
+  const auto* hello = packet.payload.get<HelloPayload>();
   if (hello == nullptr) return false;
   ++hellosReceived_;
 

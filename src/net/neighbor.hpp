@@ -49,6 +49,9 @@ class NeighborService {
     std::size_t baseBytes = 20;    // id + position + timestamp
     std::size_t perNeighborBytes = 12;
     bool includeNeighborList = true;  // piggyback 1-hop table (2-hop info)
+    /// Expected 1-hop neighborhood size; the table reserves this many
+    /// buckets up front so steady-state hello handling never rehashes.
+    std::size_t expectedNeighbors = 32;
   };
 
   /// New-contact callback: fires when a hello arrives from a node that was

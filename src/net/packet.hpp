@@ -3,13 +3,16 @@
 /// Network-layer packet passed between routing agents through the MAC.
 ///
 /// This is a simulator, not a codec: payloads are in-memory protocol structs
-/// carried via std::any, while `bytes` models the on-air size (the MAC adds
-/// its own header/preamble time). Protocols must keep `bytes` honest — the
-/// contention results depend on it.
+/// carried via a slab-recycled shared handle (see payload.hpp), while
+/// `bytes` models the on-air size (the MAC adds its own header/preamble
+/// time). Protocols must keep `bytes` honest — the contention results
+/// depend on it. Copying a Packet shares the payload (refcount bump, no
+/// allocation); payloads are immutable once handed to the MAC.
 
-#include <any>
 #include <cstddef>
 #include <string>
+
+#include "net/payload.hpp"
 
 namespace glr::net {
 
@@ -21,8 +24,8 @@ struct Packet {
   std::size_t bytes = 0;
   /// Debug/stats tag, e.g. "hello", "glr-data", "sv".
   std::string kind;
-  /// Protocol-defined content; receivers any_cast to the expected type.
-  std::any payload;
+  /// Protocol-defined content; receivers get<T>() the expected type.
+  Payload payload;
 };
 
 }  // namespace glr::net

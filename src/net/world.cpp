@@ -12,6 +12,16 @@ World::World(sim::Simulator& sim, const phy::PropagationModel& model,
       channel_(sim, model, phy::solveThresholds(model, radio),
                radio.txPowerW, [this](int id) { return positionOf(id); }) {
   macParams_.bitRateBps = radio.bitRateBps;
+  // Candidate gathers pull whole receiver sets from the epoch cache in one
+  // call instead of one std::function dispatch (and potential mobility
+  // replay) per receiver.
+  channel_.setPositionBatchFn(
+      [this](const int* ids, std::size_t n, geom::Point2* out) {
+        const sim::SimTime now = sim_.now();
+        for (std::size_t k = 0; k < n; ++k) {
+          out[k] = cachedPositionAt(static_cast<std::size_t>(ids[k]), now);
+        }
+      });
 }
 
 int World::addNode(std::unique_ptr<mobility::MobilityModel> mobility,
@@ -23,6 +33,8 @@ int World::addNode(std::unique_ptr<mobility::MobilityModel> mobility,
   node.mac = std::make_unique<mac::Mac>(sim_, channel_, id, macParams_,
                                         macRng);
   nodes_.push_back(std::move(node));
+  posCache_.emplace_back();
+  posAt_.push_back(-1.0);
   return id;
 }
 
@@ -69,9 +81,20 @@ bool World::radioUp(int id) const {
   return nodes_.at(static_cast<std::size_t>(id)).mac->radioUp();
 }
 
+geom::Point2 World::cachedPositionAt(std::size_t i, sim::SimTime now) {
+  if (posAt_[i] != now) {
+    posCache_[i] = nodes_[i].mobility->positionAt(now);
+    posAt_[i] = now;
+  }
+  return posCache_[i];
+}
+
 geom::Point2 World::positionOf(int id) {
-  return nodes_.at(static_cast<std::size_t>(id))
-      .mobility->positionAt(sim_.now());
+  const auto i = static_cast<std::size_t>(id);
+  if (i >= nodes_.size()) {
+    throw std::out_of_range{"World::positionOf: bad node id"};
+  }
+  return cachedPositionAt(i, sim_.now());
 }
 
 mac::Mac& World::macOf(int id) {

@@ -77,7 +77,18 @@ class World {
   void setRadioUp(int id, bool up);
   [[nodiscard]] bool radioUp(int id) const;
 
-  /// Current position of node `id` (advances its mobility model).
+  /// Current position of node `id`, through the epoch position cache: the
+  /// first query for a node at the current sim time evaluates its mobility
+  /// model (advancing it); repeat queries at the same time return the
+  /// cached point. Invalidation contract: a cache entry is keyed on the
+  /// exact sim time it was computed at, so it expires the instant the clock
+  /// advances — nothing else can move a node, and the mobility layer's
+  /// monotone-time guard (MobilityModel::requireMonotone) guarantees the
+  /// clock never runs backwards under a live entry. Re-queries at one time
+  /// are identity operations for every model (leg models are pure functions
+  /// of t; RandomWalk's incremental integrator advances by dt == 0), so the
+  /// cache is bit-identical to always asking the model — pinned by
+  /// test_hotpath.cpp across all registered models and under churn.
   [[nodiscard]] geom::Point2 positionOf(int id);
 
   [[nodiscard]] mac::Mac& macOf(int id);
@@ -96,12 +107,20 @@ class World {
     std::unique_ptr<Agent> agent;
   };
 
+  /// Cache-aware lookup backing positionOf and the channel's batch gather.
+  [[nodiscard]] geom::Point2 cachedPositionAt(std::size_t i, sim::SimTime now);
+
   sim::Simulator& sim_;
   mac::MacParams macParams_;
   double nominalRange_;
   mac::Channel channel_;
   std::vector<Node> nodes_;
   std::vector<double> nodeRange_;  // per-node override; 0 = shared radio
+
+  // Epoch position cache (SoA): posAt_[i] is the sim time posCache_[i] was
+  // computed at; -1 marks never-computed (sim times are >= 0).
+  std::vector<geom::Point2> posCache_;
+  std::vector<sim::SimTime> posAt_;
 };
 
 }  // namespace glr::net

@@ -10,6 +10,13 @@ namespace {
 constexpr double kPi = std::numbers::pi;
 }
 
+void PropagationModel::rxPowerFromDist2(double txPowerW, const double* dist2,
+                                        double* out, std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = rxPower(txPowerW, std::sqrt(dist2[i]));
+  }
+}
+
 double TwoRayGround::crossoverDistance() const {
   return 4.0 * kPi * p_.antennaHeightTx * p_.antennaHeightRx / p_.wavelength;
 }
@@ -26,6 +33,31 @@ double TwoRayGround::rxPower(double txPowerW, double d) const {
   const double hr2 = p_.antennaHeightRx * p_.antennaHeightRx;
   return txPowerW * p_.gainTx * p_.gainRx * ht2 * hr2 /
          (d * d * d * d * p_.systemLoss);
+}
+
+void TwoRayGround::rxPowerFromDist2(double txPowerW, const double* dist2,
+                                    double* out, std::size_t n) const {
+  // Element-for-element the same arithmetic as rxPower (same operations in
+  // the same order), with the distance recovered by the same sqrt the
+  // scalar callers' geom::dist performs — results are bit-identical; only
+  // the virtual dispatch and the loop-invariant crossover computation are
+  // hoisted out of the per-candidate loop.
+  const double cross = crossoverDistance();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = std::sqrt(dist2[i]);
+    if (d == 0.0) {
+      out[i] = txPowerW;
+    } else if (d <= cross) {
+      const double denom = 4.0 * kPi * d / p_.wavelength;
+      out[i] = txPowerW * p_.gainTx * p_.gainRx / (denom * denom *
+                                                   p_.systemLoss);
+    } else {
+      const double ht2 = p_.antennaHeightTx * p_.antennaHeightTx;
+      const double hr2 = p_.antennaHeightRx * p_.antennaHeightRx;
+      out[i] = txPowerW * p_.gainTx * p_.gainRx * ht2 * hr2 /
+               (d * d * d * d * p_.systemLoss);
+    }
+  }
 }
 
 double FreeSpace::rxPower(double txPowerW, double d) const {

@@ -8,6 +8,7 @@
 /// that yields a requested nominal range (ns-2 users do the same with the
 /// `threshold` utility), so scenarios can dial 50–250 m ranges exactly.
 
+#include <cstddef>
 #include <memory>
 
 namespace glr::phy {
@@ -18,6 +19,15 @@ class PropagationModel {
  public:
   virtual ~PropagationModel() = default;
   [[nodiscard]] virtual double rxPower(double txPowerW, double d) const = 0;
+
+  /// Batch form for the channel's per-transmission candidate sweep:
+  /// out[i] = rxPower(txPowerW, sqrt(dist2[i])) for i < n. The default
+  /// loops over the scalar virtual; concrete models override with the same
+  /// per-element arithmetic inlined (one virtual dispatch per frame instead
+  /// of one per candidate receiver). Overrides MUST be bit-identical to the
+  /// scalar path — delivery decisions are pinned by golden tests.
+  virtual void rxPowerFromDist2(double txPowerW, const double* dist2,
+                                double* out, std::size_t n) const;
 };
 
 /// ns-2 TwoRayGround: Friis below the crossover distance
@@ -37,6 +47,8 @@ class TwoRayGround final : public PropagationModel {
   explicit TwoRayGround(Params p) : p_(p) {}
 
   [[nodiscard]] double rxPower(double txPowerW, double d) const override;
+  void rxPowerFromDist2(double txPowerW, const double* dist2, double* out,
+                        std::size_t n) const override;
 
   /// Distance where the free-space and two-ray formulas meet.
   [[nodiscard]] double crossoverDistance() const;

@@ -40,7 +40,7 @@ void DirectDeliveryAgent::check() {
     net::Packet p;
     p.kind = kDirectDataKind;
     p.bytes = m->payloadBytes + params_.dataHeaderBytes;
-    p.payload = *m;
+    p.payload = net::Payload::of(*m);
     const int dst = m->dstNode;
     buffer_.erase(key);
     world_.macOf(self_).send(std::move(p), dst);
@@ -51,7 +51,7 @@ void DirectDeliveryAgent::check() {
 void DirectDeliveryAgent::onPacket(const net::Packet& packet, int fromMac) {
   if (neighbors_.handlePacket(packet, fromMac)) return;
   if (packet.kind != kDirectDataKind) return;
-  const auto* pm = std::any_cast<dtn::Message>(&packet.payload);
+  const auto* pm = packet.payload.get<dtn::Message>();
   if (pm == nullptr || pm->dstNode != self_) return;
   if (deliveredHere_.insert(pm->id).second && metrics_ != nullptr) {
     metrics_->onDelivered(pm->id, world_.sim().now(), pm->hops + 1);

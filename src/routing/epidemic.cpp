@@ -45,7 +45,10 @@ void EpidemicAgent::exchangeTick() {
 
 void EpidemicAgent::sendSummary(int to, bool full) {
   const std::uint64_t watermark = full ? 0 : offeredUpTo_[to];
-  SummaryVector sv;
+  // Build directly inside a recycled arena block (clear() keeps capacity).
+  net::Payload payload = net::Payload::create<SummaryVector>();
+  SummaryVector& sv = payload.mutableValue<SummaryVector>();
+  sv.ids.clear();
   for (const auto& [seq, id] : additions_) {
     if (seq > watermark && buffer_.containsAnyBranch(id)) {
       sv.ids.push_back(id);
@@ -58,7 +61,7 @@ void EpidemicAgent::sendSummary(int to, bool full) {
   net::Packet p;
   p.kind = kEpSvKind;
   p.bytes = params_.svHeaderBytes + params_.svEntryBytes * sv.ids.size();
-  p.payload = std::move(sv);
+  p.payload = std::move(payload);
   world_.macOf(self_).send(std::move(p), to);
   ++counters_.summariesSent;
 }
@@ -85,9 +88,11 @@ void EpidemicAgent::onPacket(const net::Packet& packet, int fromMac) {
   if (neighbors_.handlePacket(packet, fromMac)) return;
 
   if (packet.kind == kEpSvKind) {
-    const auto* sv = std::any_cast<SummaryVector>(&packet.payload);
+    const auto* sv = packet.payload.get<SummaryVector>();
     if (sv == nullptr) return;
-    RequestVector req;
+    net::Payload payload = net::Payload::create<RequestVector>();
+    RequestVector& req = payload.mutableValue<RequestVector>();
+    req.ids.clear();
     for (const dtn::MessageId& id : sv->ids) {
       if (buffer_.containsAnyBranch(id) || deliveredHere_.contains(id)) {
         continue;
@@ -106,14 +111,14 @@ void EpidemicAgent::onPacket(const net::Packet& packet, int fromMac) {
     net::Packet p;
     p.kind = kEpReqKind;
     p.bytes = params_.svHeaderBytes + params_.svEntryBytes * req.ids.size();
-    p.payload = std::move(req);
+    p.payload = std::move(payload);
     world_.macOf(self_).send(std::move(p), fromMac);
     ++counters_.requestsSent;
     return;
   }
 
   if (packet.kind == kEpReqKind) {
-    const auto* req = std::any_cast<RequestVector>(&packet.payload);
+    const auto* req = packet.payload.get<RequestVector>();
     if (req == nullptr) return;
     for (const dtn::MessageId& id : req->ids) {
       dtn::Message* m = buffer_.findInStore({id, dtn::TreeFlag::kNone});
@@ -121,7 +126,7 @@ void EpidemicAgent::onPacket(const net::Packet& packet, int fromMac) {
       net::Packet p;
       p.kind = kEpDataKind;
       p.bytes = m->payloadBytes + params_.dataHeaderBytes;
-      p.payload = *m;
+      p.payload = net::Payload::of(*m);
       world_.macOf(self_).send(std::move(p), fromMac);
       ++counters_.dataSent;
     }
@@ -129,7 +134,7 @@ void EpidemicAgent::onPacket(const net::Packet& packet, int fromMac) {
   }
 
   if (packet.kind == kEpDataKind) {
-    const auto* pm = std::any_cast<dtn::Message>(&packet.payload);
+    const auto* pm = packet.payload.get<dtn::Message>();
     if (pm == nullptr) return;
     dtn::Message m = *pm;
     m.hops += 1;

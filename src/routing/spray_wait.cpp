@@ -35,8 +35,11 @@ void SprayWaitAgent::originate(int dstNode) {
 
 void SprayWaitAgent::onContact(int id) {
   // Offer ids we can spray (budget > 1) or that the contact itself wants
-  // (it is their destination).
-  SummaryVector sv;
+  // (it is their destination). Built in place in a recycled arena block
+  // (clear() keeps capacity), like the epidemic summary path.
+  net::Payload payload = net::Payload::create<SummaryVector>();
+  SummaryVector& sv = payload.mutableValue<SummaryVector>();
+  sv.ids.clear();
   for (const dtn::CopyKey& key : buffer_.storeKeys()) {
     const dtn::Message* m = buffer_.findInStore(key);
     if (m == nullptr) continue;
@@ -47,7 +50,7 @@ void SprayWaitAgent::onContact(int id) {
   net::Packet p;
   p.kind = kSwSvKind;
   p.bytes = params_.svHeaderBytes + params_.svEntryBytes * sv.ids.size();
-  p.payload = std::move(sv);
+  p.payload = std::move(payload);
   world_.macOf(self_).send(std::move(p), id);
 }
 
@@ -55,9 +58,11 @@ void SprayWaitAgent::onPacket(const net::Packet& packet, int fromMac) {
   if (neighbors_.handlePacket(packet, fromMac)) return;
 
   if (packet.kind == kSwSvKind) {
-    const auto* sv = std::any_cast<SummaryVector>(&packet.payload);
+    const auto* sv = packet.payload.get<SummaryVector>();
     if (sv == nullptr) return;
-    RequestVector req;
+    net::Payload payload = net::Payload::create<RequestVector>();
+    RequestVector& req = payload.mutableValue<RequestVector>();
+    req.ids.clear();
     for (const dtn::MessageId& id : sv->ids) {
       if (!buffer_.containsAnyBranch(id) && !deliveredHere_.contains(id)) {
         req.ids.push_back(id);
@@ -67,13 +72,13 @@ void SprayWaitAgent::onPacket(const net::Packet& packet, int fromMac) {
     net::Packet p;
     p.kind = kSwReqKind;
     p.bytes = params_.svHeaderBytes + params_.svEntryBytes * req.ids.size();
-    p.payload = std::move(req);
+    p.payload = std::move(payload);
     world_.macOf(self_).send(std::move(p), fromMac);
     return;
   }
 
   if (packet.kind == kSwReqKind) {
-    const auto* req = std::any_cast<RequestVector>(&packet.payload);
+    const auto* req = packet.payload.get<RequestVector>();
     if (req == nullptr) return;
     for (const dtn::MessageId& id : req->ids) {
       dtn::Message* m = buffer_.findInStore({id, dtn::TreeFlag::kNone});
@@ -87,7 +92,7 @@ void SprayWaitAgent::onPacket(const net::Packet& packet, int fromMac) {
       net::Packet p;
       p.kind = kSwDataKind;
       p.bytes = m->payloadBytes + params_.dataHeaderBytes;
-      p.payload = out;
+      p.payload = net::Payload::of(out);
       world_.macOf(self_).send(std::move(p), fromMac);
       if (toDestination) {
         buffer_.erase({id, dtn::TreeFlag::kNone});
@@ -100,7 +105,7 @@ void SprayWaitAgent::onPacket(const net::Packet& packet, int fromMac) {
   }
 
   if (packet.kind == kSwDataKind) {
-    const auto* sd = std::any_cast<SprayData>(&packet.payload);
+    const auto* sd = packet.payload.get<SprayData>();
     if (sd == nullptr) return;
     dtn::Message m = sd->message;
     m.hops += 1;

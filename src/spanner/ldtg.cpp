@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -88,39 +89,98 @@ graph::Graph buildLdtg(const std::vector<geom::Point2>& positions,
   return out;
 }
 
+namespace {
+
+/// Reused workspace for localSpannerNeighbors: the GLR route check runs it
+/// on every check interval for every node, and the witness rule inside
+/// triangulates one small neighborhood per witness. Persisting the point
+/// buffers and the two Delaunay result objects (rebuilt in place via
+/// Delaunay::buildInto) makes the steady-state spanner path allocation-free
+/// apart from the returned neighbor list.
+struct SpannerScratch {
+  std::vector<int> ids;
+  std::vector<geom::Point2> pts;
+  std::vector<char> oneHop;
+  std::vector<std::size_t> candidates;
+  std::vector<geom::Point2> wPts;
+  std::vector<std::size_t> wIds;
+  geom::Delaunay dt;
+  geom::Delaunay wdt;
+
+  // Generation-stamped dedup table indexed by (dense, non-negative) node
+  // id: seen(id) is O(1) and the per-call "clear" is one counter bump —
+  // an unordered_map here would free and reallocate one node per neighbor
+  // on every route check. Ids outside the table (negative) fall back to a
+  // linear probe of `ids`, which preserves the old map's semantics for
+  // arbitrary callers.
+  std::vector<std::uint32_t> idStamp;
+  std::uint32_t stamp = 0;
+
+  void beginDedup() {
+    if (stamp == std::numeric_limits<std::uint32_t>::max()) {
+      std::fill(idStamp.begin(), idStamp.end(), 0);
+      stamp = 0;
+    }
+    ++stamp;
+  }
+
+  /// True the first time `id` is offered since beginDedup().
+  [[nodiscard]] bool firstSeen(int id) {
+    if (id < 0) {
+      for (int known : ids) {
+        if (known == id) return false;
+      }
+      return true;
+    }
+    const auto i = static_cast<std::size_t>(id);
+    if (i >= idStamp.size()) idStamp.resize(i + 1, 0);
+    if (idStamp[i] == stamp) return false;
+    idStamp[i] = stamp;
+    return true;
+  }
+};
+
+SpannerScratch& spannerScratch() {
+  static thread_local SpannerScratch s;
+  return s;
+}
+
+}  // namespace
+
 std::vector<int> localSpannerNeighbors(int selfId, geom::Point2 selfPos,
                                        const std::vector<KnownNode>& known,
                                        double radius, bool applyWitnessRule) {
   const double r2 = radius * radius;
+  SpannerScratch& s = spannerScratch();
 
   // Assemble the local point set: self first, then known nodes (dedup ids).
-  std::vector<int> ids{selfId};
-  std::vector<geom::Point2> pts{selfPos};
-  std::unordered_map<int, std::size_t> indexOf{{selfId, 0}};
-  std::vector<char> oneHop{1};
+  s.beginDedup();
+  s.ids.assign(1, selfId);
+  s.pts.assign(1, selfPos);
+  (void)s.firstSeen(selfId);
+  s.oneHop.assign(1, 1);
   for (const KnownNode& kn : known) {
-    if (kn.id == selfId || indexOf.contains(kn.id)) continue;
-    indexOf.emplace(kn.id, ids.size());
-    ids.push_back(kn.id);
-    pts.push_back(kn.pos);
-    oneHop.push_back(kn.oneHop ? 1 : 0);
+    if (kn.id == selfId || !s.firstSeen(kn.id)) continue;
+    s.ids.push_back(kn.id);
+    s.pts.push_back(kn.pos);
+    s.oneHop.push_back(kn.oneHop ? 1 : 0);
   }
-  if (ids.size() < 2) return {};
+  if (s.ids.size() < 2) return {};
 
   // Delaunay of the whole local view; candidates are edges incident to self
   // whose other endpoint is a direct neighbor within range.
-  const auto dt = geom::Delaunay::build(pts);
-  std::vector<std::size_t> candidates;
-  for (int nb : dt.neighborsOf(dt.canonicalIndex(0))) {
+  geom::Delaunay::buildInto(s.dt, s.pts);
+  s.candidates.clear();
+  for (int nb : s.dt.neighbors(s.dt.canonicalIndex(0))) {
     const auto i = static_cast<std::size_t>(nb);
-    if (i == 0 || !oneHop[i]) continue;
-    if (geom::dist2(selfPos, pts[i]) > r2) continue;
-    candidates.push_back(i);
+    if (i == 0 || !s.oneHop[i]) continue;
+    if (geom::dist2(selfPos, s.pts[i]) > r2) continue;
+    s.candidates.push_back(i);
   }
 
   std::vector<int> accepted;
   if (!applyWitnessRule) {
-    for (std::size_t i : candidates) accepted.push_back(ids[i]);
+    for (std::size_t i : s.candidates) accepted.push_back(s.ids[i]);
     std::sort(accepted.begin(), accepted.end());
     return accepted;
   }
@@ -129,37 +189,37 @@ std::vector<int> localSpannerNeighbors(int selfId, geom::Point2 selfPos,
   // 1-hop neighbor w that (locally) sees both self and the candidate must
   // also keep the edge in the Delaunay triangulation of w's visible
   // neighborhood.
-  for (std::size_t vi : candidates) {
-    const geom::Point2 vPos = pts[vi];
+  for (std::size_t vi : s.candidates) {
+    const geom::Point2 vPos = s.pts[vi];
     bool vetoed = false;
-    for (std::size_t wi = 1; wi < ids.size() && !vetoed; ++wi) {
-      if (wi == vi || !oneHop[wi]) continue;
-      const geom::Point2 wPos = pts[wi];
+    for (std::size_t wi = 1; wi < s.ids.size() && !vetoed; ++wi) {
+      if (wi == vi || !s.oneHop[wi]) continue;
+      const geom::Point2 wPos = s.pts[wi];
       // w's neighborhood as visible from self's knowledge.
       if (geom::dist2(wPos, selfPos) > r2 || geom::dist2(wPos, vPos) > r2) {
         continue;  // witness cannot see both endpoints
       }
-      std::vector<geom::Point2> wPts;
-      std::vector<std::size_t> wIds;
-      for (std::size_t x = 0; x < ids.size(); ++x) {
-        if (geom::dist2(pts[x], wPos) <= r2) {
-          wPts.push_back(pts[x]);
-          wIds.push_back(x);
+      s.wPts.clear();
+      s.wIds.clear();
+      for (std::size_t x = 0; x < s.ids.size(); ++x) {
+        if (geom::dist2(s.pts[x], wPos) <= r2) {
+          s.wPts.push_back(s.pts[x]);
+          s.wIds.push_back(x);
         }
       }
-      const auto wdt = geom::Delaunay::build(wPts);
+      geom::Delaunay::buildInto(s.wdt, s.wPts);
       int selfLocal = -1, vLocal = -1;
-      for (std::size_t x = 0; x < wIds.size(); ++x) {
-        if (wIds[x] == 0) selfLocal = static_cast<int>(x);
-        if (wIds[x] == vi) vLocal = static_cast<int>(x);
+      for (std::size_t x = 0; x < s.wIds.size(); ++x) {
+        if (s.wIds[x] == 0) selfLocal = static_cast<int>(x);
+        if (s.wIds[x] == vi) vLocal = static_cast<int>(x);
       }
       if (selfLocal >= 0 && vLocal >= 0 &&
-          !wdt.hasEdge(wdt.canonicalIndex(selfLocal),
-                       wdt.canonicalIndex(vLocal))) {
+          !s.wdt.hasEdge(s.wdt.canonicalIndex(selfLocal),
+                         s.wdt.canonicalIndex(vLocal))) {
         vetoed = true;
       }
     }
-    if (!vetoed) accepted.push_back(ids[vi]);
+    if (!vetoed) accepted.push_back(s.ids[vi]);
   }
   std::sort(accepted.begin(), accepted.end());
   return accepted;
