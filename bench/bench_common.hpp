@@ -8,7 +8,11 @@
 /// messages); set GLR_PAPER_SCALE=1 for the paper's full parameters and
 /// GLR_BENCH_RUNS=<n> to override the seed count.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -96,6 +100,58 @@ inline ScenarioConfig benchConfig(Protocol p, double radius) {
 }
 
 inline int defaultRuns() { return experiment::benchRuns(2); }
+
+/// Reads one "<key>:  <n> kB" line from /proc/self/status; 0 if absent
+/// (non-Linux platforms — the scale bench then skips its memory asserts).
+inline std::size_t procStatusBytes(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::size_t kb = 0;
+  const std::size_t keyLen = std::strlen(key);
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, key, keyLen) == 0 && line[keyLen] == ':') {
+      kb = std::strtoull(line + keyLen + 1, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
+/// Peak resident set size of this process so far (VmHWM).
+inline std::size_t peakRssBytes() { return procStatusBytes("VmHWM"); }
+/// Current resident set size (VmRSS).
+inline std::size_t currentRssBytes() { return procStatusBytes("VmRSS"); }
+
+/// Node-count override shared by the benches: GLR_BENCH_NODES in the
+/// environment, typically mirrored by a --nodes flag. Returns `fallback`
+/// when unset or unparseable.
+inline int benchNodes(int fallback) {
+  const char* env = std::getenv("GLR_BENCH_NODES");
+  if (env == nullptr || *env == '\0') return fallback;
+  const long v = std::strtol(env, nullptr, 10);
+  return v >= 2 ? static_cast<int>(v) : fallback;
+}
+
+/// Rescales a scenario to `nodes` at constant node density: the area grows
+/// with the population (aspect ratio preserved) and the traffic subset
+/// keeps its share. Radio range, speeds and the rest are untouched, so the
+/// local picture every node sees — expected degree, contact rate — matches
+/// the base config at any population.
+inline void scalePopulation(ScenarioConfig& cfg, int nodes) {
+  if (nodes == cfg.numNodes) return;
+  const double grow =
+      static_cast<double>(nodes) / static_cast<double>(cfg.numNodes);
+  const double lin = std::sqrt(grow);
+  cfg.areaWidth *= lin;
+  cfg.areaHeight *= lin;
+  const double trafficShare = static_cast<double>(cfg.trafficNodes) /
+                              static_cast<double>(cfg.numNodes);
+  cfg.trafficNodes = std::max(
+      2, std::min(nodes, static_cast<int>(trafficShare * nodes)));
+  cfg.numNodes = nodes;
+}
 
 inline void banner(const char* title, const char* paperRef) {
   std::printf("\n================================================================\n");

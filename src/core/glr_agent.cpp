@@ -10,14 +10,21 @@ namespace glr::core {
 
 GlrAgent::GlrAgent(net::World& world, int self, GlrParams params,
                    dtn::MetricsCollector* metrics, sim::Rng rng)
+    : GlrAgent(world, self,
+               std::make_shared<const GlrParams>(std::move(params)), metrics,
+               rng) {}
+
+GlrAgent::GlrAgent(net::World& world, int self,
+                   std::shared_ptr<const GlrParams> params,
+                   dtn::MetricsCollector* metrics, sim::Rng rng)
     : world_(world),
       self_(self),
-      params_(params),
+      params_(std::move(params)),
       metrics_(metrics),
       rng_(rng),
       neighbors_(world.sim(), world.macOf(self), self,
-                 [this] { return myPos(); }, params.hello, rng.fork(1)),
-      buffer_(params.storageLimit) {
+                 [this] { return myPos(); }, params_->hello, rng.fork(1)),
+      buffer_(params_->storageLimit, params_->expectedBufferedCopies) {
   neighbors_.setLocationSampleCallback(
       [this](int id, geom::Point2 pos, sim::SimTime at) {
         locations_.update(id, pos, at);
@@ -42,20 +49,23 @@ GlrAgent::GlrAgent(net::World& world, int self, GlrParams params,
 }
 
 int GlrAgent::copyCount() const {
-  if (params_.copiesOverride > 0) return params_.copiesOverride;
-  return decideCopyCount(params_.network, params_.sparseCopies);
+  if (params_->copiesOverride > 0) return params_->copiesOverride;
+  return decideCopyCount(params_->network, params_->sparseCopies);
 }
 
 void GlrAgent::start() {
   neighbors_.start();
   // Desynchronized periodic route checks.
-  world_.sim().schedule(rng_.uniform(0.0, params_.checkInterval),
+  world_.sim().schedule(rng_.uniform(0.0, params_->checkInterval),
                         [this] { periodicCheck(); });
 }
 
 void GlrAgent::periodicCheck() {
+  if (params_->locationEvictAfter > 0.0) {
+    locations_.prune(world_.sim().now() - params_->locationEvictAfter);
+  }
   checkRoutes();
-  world_.sim().schedule(params_.checkInterval, [this] { periodicCheck(); });
+  world_.sim().schedule(params_->checkInterval, [this] { periodicCheck(); });
 }
 
 void GlrAgent::originate(int dstNode) {
@@ -67,9 +77,9 @@ void GlrAgent::originate(int dstNode) {
   base.srcNode = self_;
   base.dstNode = dstNode;
   base.created = world_.sim().now();
-  base.payloadBytes = params_.payloadBytes;
+  base.payloadBytes = params_->payloadBytes;
 
-  switch (params_.locationMode) {
+  switch (params_->locationMode) {
     case LocationMode::kOracleAll:
     case LocationMode::kSourceKnows:
       // Paper assumption: "Source knows the true destination location."
@@ -79,8 +89,8 @@ void GlrAgent::originate(int dstNode) {
       break;
     case LocationMode::kNoneKnow:
       // "Random location is given at the beginning."
-      base.destLoc = {rng_.uniform(0.0, params_.network.areaWidth),
-                      rng_.uniform(0.0, params_.network.areaHeight)};
+      base.destLoc = {rng_.uniform(0.0, params_->network.areaWidth),
+                      rng_.uniform(0.0, params_->network.areaHeight)};
       base.destLocTime = -1e17;  // ancient: any observation supersedes it
       base.destLocKnown = true;
       break;
@@ -103,7 +113,7 @@ void GlrAgent::originate(int dstNode) {
 }
 
 bool GlrAgent::resolveDestination(dtn::Message& m, geom::Point2& out) {
-  if (params_.locationMode == LocationMode::kOracleAll) {
+  if (params_->locationMode == LocationMode::kOracleAll) {
     out = world_.positionOf(m.dstNode);
     m.destLoc = out;
     m.destLocTime = world_.sim().now();
@@ -134,20 +144,20 @@ void GlrAgent::maybePerturbDestination(dtn::Message& m) {
   // can leave the local minimum. The perturbed location keeps its old
   // timestamp and is flagged, so it is never diffused as a genuine
   // observation and any fresher real sample supersedes it immediately.
-  if (m.stuckCount < params_.stuckChecksBeforePerturb) return;
-  if (world_.sim().now() - m.destLocTime < params_.staleLocationAge) return;
-  if (world_.sim().now() - m.lastPerturbAt < params_.staleLocationAge) return;
+  if (m.stuckCount < params_->stuckChecksBeforePerturb) return;
+  if (world_.sim().now() - m.destLocTime < params_->staleLocationAge) return;
+  if (world_.sim().now() - m.lastPerturbAt < params_->staleLocationAge) return;
   // The paper's trigger: the copy reached the node *closest to* the stale
   // location — i.e. we are standing at the phantom point and the
   // destination is not here. Copies stuck far away are stuck because of
   // partition, not staleness; perturbing them would be noise.
-  if (geom::dist(myPos(), m.destLoc) > params_.network.radius) return;
+  if (geom::dist(myPos(), m.destLoc) > params_->network.radius) return;
   m.lastPerturbAt = world_.sim().now();
-  const double r = params_.network.radius;
+  const double r = params_->network.radius;
   m.destLoc.x = std::clamp(m.destLoc.x + rng_.uniform(-1.5 * r, 1.5 * r),
-                           0.0, params_.network.areaWidth);
+                           0.0, params_->network.areaWidth);
   m.destLoc.y = std::clamp(m.destLoc.y + rng_.uniform(-1.5 * r, 1.5 * r),
-                           0.0, params_.network.areaHeight);
+                           0.0, params_->network.areaHeight);
   m.destLocPerturbed = true;
   m.stuckCount = 0;
   ++counters_.perturbations;
@@ -161,10 +171,10 @@ void GlrAgent::checkRoutes() {
   // Local LDTG star: computed once per check from beacon knowledge.
   const auto knowledge = neighbors_.knowledge();
   const auto spannerIds = spanner::localSpannerNeighbors(
-      self_, self, knowledge, params_.network.radius, params_.witnessRule);
+      self_, self, knowledge, params_->network.radius, params_->witnessRule);
   std::vector<std::pair<int, geom::Point2>> spannerNbrs;
   spannerNbrs.reserve(spannerIds.size());
-  const double sendRange = params_.sendRangeGuard * params_.network.radius;
+  const double sendRange = params_->sendRangeGuard * params_->network.radius;
   for (const int id : spannerIds) {
     if (const auto pos = neighbors_.neighborPosition(id); pos.has_value()) {
       if (geom::dist(self, *pos) <= sendRange) {
@@ -173,7 +183,7 @@ void GlrAgent::checkRoutes() {
     }
   }
 
-  int sendBudget = params_.maxSendsPerCheck;
+  int sendBudget = params_->maxSendsPerCheck;
   for (const dtn::CopyKey& key : buffer_.storeKeys()) {
     if (sendBudget <= 0) break;  // remaining copies wait for the next check
     dtn::Message* m = buffer_.findInStore(key);
@@ -239,7 +249,7 @@ void GlrAgent::checkRoutes() {
       // component the walk loops back to us and the copy then waits in
       // store state (paper Sec. 3.2) until the neighborhood changes; a
       // cooldown stops the same dead face from being re-walked.
-      if (params_.faceRouting && !spannerNbrs.empty() &&
+      if (params_->faceRouting && !spannerNbrs.empty() &&
           world_.sim().now() >= m->faceCooldownUntil) {
         m->faceMode = true;
         m->faceEntry = self;
@@ -262,13 +272,13 @@ void GlrAgent::checkRoutes() {
     // In face mode. Give up the walk when it returned to its entry node or
     // exhausted its hop budget: store and wait for topology change.
     if ((m->faceEntryNode == self_ && m->faceHops > 0) ||
-        m->faceHops >= params_.maxFaceHops) {
+        m->faceHops >= params_->maxFaceHops) {
       m->faceMode = false;
       m->facePrevHop = -1;
       m->faceExhaustions = std::min(m->faceExhaustions + 1, 4);
       m->faceCooldownUntil =
           world_.sim().now() +
-          params_.faceCooldown * static_cast<double>(1 << m->faceExhaustions);
+          params_->faceCooldown * static_cast<double>(1 << m->faceExhaustions);
       noRoute(*m);
       continue;
     }
@@ -290,7 +300,7 @@ void GlrAgent::checkRoutes() {
       m->faceExhaustions = std::min(m->faceExhaustions + 1, 4);
       m->faceCooldownUntil =
           world_.sim().now() +
-          params_.faceCooldown * static_cast<double>(1 << m->faceExhaustions);
+          params_->faceCooldown * static_cast<double>(1 << m->faceExhaustions);
       noRoute(*m);
     }
   }
@@ -299,7 +309,7 @@ void GlrAgent::checkRoutes() {
 void GlrAgent::sendCustodyAck(const dtn::CopyKey& key, int to, int attempt) {
   net::Packet ack;
   ack.kind = kGlrAckKind;
-  ack.bytes = params_.custodyAckBytes;
+  ack.bytes = params_->custodyAckBytes;
   ack.payload = net::Payload::of(CustodyAck{key});
   if (world_.macOf(self_).send(std::move(ack), to)) {
     ++counters_.custodyAcksSent;
@@ -307,8 +317,8 @@ void GlrAgent::sendCustodyAck(const dtn::CopyKey& key, int to, int attempt) {
   }
   // Interface queue full: a lost custody ack forks the copy at the sender,
   // so retry shortly rather than relying on the sender's cache timeout.
-  if (attempt < params_.ackRetries) {
-    world_.sim().schedule(params_.ackRetryDelay, [this, key, to, attempt] {
+  if (attempt < params_->ackRetries) {
+    world_.sim().schedule(params_->ackRetryDelay, [this, key, to, attempt] {
       sendCustodyAck(key, to, attempt + 1);
     });
   }
@@ -319,7 +329,7 @@ bool GlrAgent::sendCopy(const dtn::CopyKey& key, int nextHop) {
   if (m == nullptr) return false;
   // Custody flow control: bound the copies awaiting acknowledgement so the
   // interface queue cannot be flooded by one route check.
-  if (params_.custodyTransfer && buffer_.cacheSize() >= params_.custodyWindow) {
+  if (params_->custodyTransfer && buffer_.cacheSize() >= params_->custodyWindow) {
     return false;
   }
   dtn::Message outMsg = *m;
@@ -327,7 +337,7 @@ bool GlrAgent::sendCopy(const dtn::CopyKey& key, int nextHop) {
 
   net::Packet packet;
   packet.kind = kGlrDataKind;
-  packet.bytes = outMsg.payloadBytes + params_.dataHeaderBytes;
+  packet.bytes = outMsg.payloadBytes + params_->dataHeaderBytes;
   packet.payload = net::Payload::of(outMsg);
 
   const bool queued = world_.macOf(self_).send(std::move(packet), nextHop);
@@ -337,10 +347,10 @@ bool GlrAgent::sendCopy(const dtn::CopyKey& key, int nextHop) {
     ++counters_.txFailures;
     return false;
   }
-  if (params_.custodyTransfer) {
+  if (params_->custodyTransfer) {
     const sim::SimTime sentAt = world_.sim().now();
     buffer_.moveToCache(key, nextHop, sentAt);
-    world_.sim().schedule(params_.cacheTimeout, [this, key, sentAt] {
+    world_.sim().schedule(params_->cacheTimeout, [this, key, sentAt] {
       // Reschedule only if this exact custody round is still outstanding.
       if (buffer_.cacheEntrySentAt(key) == sentAt) {
         buffer_.returnToStore(key);
@@ -372,7 +382,7 @@ void GlrAgent::handleData(const net::Packet& packet, int fromMac) {
 
   // Custody acknowledgement back to the sender — also for duplicates and
   // final delivery, so the sender clears its Cache either way.
-  if (params_.custodyTransfer) {
+  if (params_->custodyTransfer) {
     sendCustodyAck(m.key(), fromMac, 0);
   }
 

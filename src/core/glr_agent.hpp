@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -64,9 +65,19 @@ struct GlrParams {
   int maxFaceHops = 12;        // face-walk budget per entry
   double faceCooldown = 25.0;  // seconds before re-walking an exhausted face
   std::size_t storageLimit = dtn::kUnlimitedStorage;
+  /// Buffer index pre-size hint (copies this node may hold at once),
+  /// derived from the workload by the scenario driver; 0 = no hint.
+  std::size_t expectedBufferedCopies = 0;
   std::size_t payloadBytes = 1000;     // paper Table 1
   std::size_t dataHeaderBytes = 40;    // GLR header on data packets
   std::size_t custodyAckBytes = 20;
+  /// Steady-state bound on the location table for long/large runs:
+  /// observations older than this many seconds are pruned at each periodic
+  /// check. 0 (default) keeps every observation forever — the historical
+  /// behavior the goldens were recorded under. The table is lookup-only,
+  /// so pruning is observable only when a later route check would have
+  /// fallen back to one of these very stale positions.
+  double locationEvictAfter = 0.0;
   net::NeighborService::Params hello;
 };
 
@@ -97,6 +108,15 @@ inline constexpr const char* kGlrAckKind = "glr-ack";
 class GlrAgent final : public routing::DtnAgent {
  public:
   GlrAgent(net::World& world, int self, GlrParams params,
+           dtn::MetricsCollector* metrics, sim::Rng rng);
+
+  /// Shared-parameter constructor: scenario drivers build one immutable
+  /// GlrParams block and hand the same pointer to every agent, so a
+  /// million-node world stores the configuration once instead of once per
+  /// node. The by-value constructor above wraps into a private block and
+  /// delegates here.
+  GlrAgent(net::World& world, int self,
+           std::shared_ptr<const GlrParams> params,
            dtn::MetricsCollector* metrics, sim::Rng rng);
 
   void start() override;
@@ -154,7 +174,11 @@ class GlrAgent final : public routing::DtnAgent {
 
   net::World& world_;
   int self_;
-  GlrParams params_;
+  /// Shared immutable parameter block: every agent in a scenario gets the
+  /// same GlrParams, and at city scale a by-value copy per node (~232 B)
+  /// is a measurable share of the idle-node budget — so one refcounted
+  /// block serves the whole population.
+  std::shared_ptr<const GlrParams> params_;
   dtn::MetricsCollector* metrics_;
   sim::Rng rng_;
 

@@ -5,7 +5,21 @@
 
 namespace glr::dtn {
 
-MessageBuffer::MessageBuffer(std::size_t capacity) : capacity_(capacity) {}
+MessageBuffer::MessageBuffer(std::size_t capacity, std::size_t expectedCopies)
+    : capacity_(capacity), reserveHint_(expectedCopies) {}
+
+void MessageBuffer::applyReserveHint() {
+  // Deferred to the first insert: a city-scale world holds mostly idle
+  // nodes whose buffers never see a message — pre-sizing those up front
+  // costs ~0.5 KB per node for tables that stay empty. The maps are pure
+  // key-lookup indexes (list order drives every observable iteration), so
+  // when the reserve happens cannot affect results.
+  if (reserveHint_ == 0) return;
+  storeIndex_.reserve(reserveHint_);
+  cacheIndex_.reserve(reserveHint_);
+  branchCount_.reserve(reserveHint_);
+  reserveHint_ = 0;
+}
 
 void MessageBuffer::notePeak() { peak_ = std::max(peak_, size()); }
 
@@ -58,6 +72,7 @@ bool MessageBuffer::addToStore(Message m) {
   while (size() >= capacity_) {
     if (!evictOne()) return false;  // capacity 0
   }
+  applyReserveHint();
   store_.push_back(std::move(m));
   indexStoreInsert(std::prev(store_.end()));
   notePeak();

@@ -28,7 +28,14 @@ inline constexpr std::size_t kUnlimitedStorage = SIZE_MAX;
 
 class MessageBuffer {
  public:
-  explicit MessageBuffer(std::size_t capacity = kUnlimitedStorage);
+  /// `expectedCopies` pre-sizes the key/branch hash indexes (0 = no hint).
+  /// Scenario drivers derive it from the population/workload so steady-state
+  /// inserts never rehash; it is purely a bucket-count hint — list order
+  /// drives every observable iteration, so results are unaffected. The
+  /// reserve is applied lazily on the first insert, so idle nodes that
+  /// never buffer a message pay nothing for the hint.
+  explicit MessageBuffer(std::size_t capacity = kUnlimitedStorage,
+                         std::size_t expectedCopies = 0);
 
   /// Adds a copy to the Store (FIFO tail). Returns false (and changes
   /// nothing) if the same copy is already present in Store or Cache.
@@ -103,6 +110,8 @@ class MessageBuffer {
   };
 
   void notePeak();
+  /// Applies the deferred `expectedCopies` index reserve (first insert).
+  void applyReserveHint();
   /// Evicts one message per the paper's policy; false if nothing evictable.
   bool evictOne();
 
@@ -124,6 +133,8 @@ class MessageBuffer {
   std::unordered_map<MessageId, std::uint32_t> branchCount_;
   std::size_t peak_ = 0;
   std::uint64_t drops_ = 0;
+  /// Deferred index reserve size; consumed (zeroed) on the first insert.
+  std::size_t reserveHint_ = 0;
 };
 
 }  // namespace glr::dtn

@@ -39,6 +39,22 @@ class LocationTable {
 
   [[nodiscard]] std::size_t size() const { return table_.size(); }
 
+  /// Drops every observation older than `olderThan`. The table is a pure
+  /// key-value lookup (nothing iterates it), so pruning is only observable
+  /// when a later lookup would have returned one of the dropped, very-stale
+  /// entries. City-scale runs call this periodically to keep an idle node's
+  /// footprint bounded by its active 2-hop neighborhood instead of by every
+  /// node it has ever heard of.
+  void prune(sim::SimTime olderThan) {
+    for (auto it = table_.begin(); it != table_.end();) {
+      if (it->second.at < olderThan) {
+        it = table_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
  private:
   std::unordered_map<int, Entry> table_;
 };

@@ -1,6 +1,7 @@
 #include "mac/channel.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "mac/mac.hpp"
@@ -26,6 +27,7 @@ Channel::Channel(sim::Simulator& sim, const phy::PropagationModel& model,
   if (!positionOf_) {
     throw std::invalid_argument{"Channel: positionOf callback required"};
   }
+  csMaxRangeShared_ = model_.maxRangeFor(txPowerW_, thresholds_.csThresholdW);
 }
 
 void Channel::attach(Mac* mac) {
@@ -38,14 +40,16 @@ void Channel::attach(Mac* mac) {
 }
 
 void Channel::enableReceiverIndex(double maxRange, double maxSpeed,
-                                  double rebuildInterval) {
+                                  double rebuildInterval, IndexMode mode) {
   if (!(maxRange > 0.0) || !(maxSpeed >= 0.0) || !(rebuildInterval > 0.0)) {
     throw std::invalid_argument{"Channel::enableReceiverIndex: bad params"};
   }
   indexEnabled_ = true;
+  indexMode_ = mode;
   // Tiny absolute pad so FP rounding at the exact range boundary can never
   // exclude a node the threshold check would accept.
   indexMaxRange_ = maxRange + 1e-6;
+  indexMaxSpeed_ = maxSpeed;
   indexSlack_ = maxSpeed * rebuildInterval;
   indexRebuildInterval_ = rebuildInterval;
   effectiveQueryRange_ = std::max(indexMaxRange_, maxNodeRange_ + 1e-6);
@@ -66,6 +70,9 @@ void Channel::setNodeTxRange(int nodeId, double range) {
   const auto id = static_cast<std::size_t>(nodeId);
   if (txPowerOf_.size() <= id) txPowerOf_.resize(id + 1, 0.0);
   txPowerOf_[id] = txPowerW_ * (thresholds_.rxThresholdW / atRange);
+  if (csRangeOf_.size() <= id) csRangeOf_.resize(id + 1, 0.0);
+  csRangeOf_[id] =
+      model_.maxRangeFor(txPowerOf_[id], thresholds_.csThresholdW);
   maxNodeRange_ = std::max(maxNodeRange_, range);
   effectiveQueryRange_ = std::max(indexMaxRange_, maxNodeRange_ + 1e-6);
   indexGrid_.reset();  // candidate queries must widen to the new range
@@ -77,27 +84,137 @@ double Channel::txPowerFor(int nodeId) const {
                                                         : txPowerW_;
 }
 
+double Channel::csRangeFor(int nodeId) const {
+  const auto id = static_cast<std::size_t>(nodeId);
+  return id < csRangeOf_.size() && csRangeOf_[id] > 0.0 ? csRangeOf_[id]
+                                                        : csMaxRangeShared_;
+}
+
+void Channel::buildIndex(sim::SimTime now) {
+  // Bounds from the current positions (sampled in ascending id order, the
+  // legacy snapshot's exact sequence). Later drift beyond this box clamps
+  // into edge tiles — membership stays exact, only edge occupancy grows.
+  geom::Point2 lo{0.0, 0.0};
+  geom::Point2 hi{0.0, 0.0};
+  refreshIds_.clear();
+  refreshPos_.clear();
+  for (std::size_t id = 0; id < macs_.size(); ++id) {
+    if (macs_[id] == nullptr) continue;
+    const geom::Point2 p = positionOf_(static_cast<int>(id));
+    if (refreshIds_.empty()) {
+      lo = hi = p;
+    } else {
+      lo.x = std::min(lo.x, p.x);
+      lo.y = std::min(lo.y, p.y);
+      hi.x = std::max(hi.x, p.x);
+      hi.y = std::max(hi.y, p.y);
+    }
+    refreshIds_.push_back(static_cast<int>(id));
+    refreshPos_.push_back(p);
+  }
+  indexGrid_ = std::make_unique<geom::TiledSpatialGrid>(
+      lo, hi, effectiveQueryRange_ + indexSlack_, macs_.size());
+  for (std::size_t k = 0; k < refreshIds_.size(); ++k) {
+    indexGrid_->update(refreshIds_[k], refreshPos_[k], now);
+  }
+  indexBuiltAt_ = now;
+  tileStamp_.assign(static_cast<std::size_t>(indexGrid_->numTiles()), now);
+  janitorCursor_ = 0;
+  janitorCredit_ = 0.0;
+  janitorLastAt_ = now;
+  janitorCycleStartAt_ = now;
+  indexFloor_ = now;
+}
+
+void Channel::refreshAllRecords(sim::SimTime now) {
+  for (std::size_t id = 0; id < macs_.size(); ++id) {
+    if (macs_[id] == nullptr) continue;
+    indexGrid_->update(static_cast<int>(id), positionOf_(static_cast<int>(id)),
+                       now);
+  }
+  indexBuiltAt_ = now;
+}
+
+void Channel::refreshTile(int tile, sim::SimTime now) {
+  refreshIds_.clear();
+  indexGrid_->forEachInTile(tile, [this](int i) { refreshIds_.push_back(i); });
+  const std::size_t n = refreshIds_.size();
+  if (n > 0) {
+    refreshPos_.resize(n);
+    gatherPositions(refreshIds_.data(), n, refreshPos_.data());
+    for (std::size_t k = 0; k < n; ++k) {
+      indexGrid_->update(refreshIds_[k], refreshPos_[k], now);
+    }
+  }
+  tileStamp_[static_cast<std::size_t>(tile)] = now;
+}
+
+void Channel::janitorStep(sim::SimTime now) {
+  const int numTiles = indexGrid_->numTiles();
+  janitorCredit_ +=
+      numTiles * (now - janitorLastAt_) / indexRebuildInterval_;
+  janitorLastAt_ = now;
+  // More than one full sweep owed collapses into one: re-sampling a tile
+  // twice at the same instant is pure waste.
+  janitorCredit_ = std::min(janitorCredit_, static_cast<double>(numTiles));
+  int budget = static_cast<int>(janitorCredit_);
+  janitorCredit_ -= budget;
+  while (budget-- > 0) {
+    if (janitorCursor_ == 0) janitorCycleStartAt_ = now;
+    refreshTile(janitorCursor_, now);
+    if (++janitorCursor_ == numTiles) {
+      janitorCursor_ = 0;
+      // Every live record has been re-sampled since the sweep began: a
+      // node that moved tiles mid-sweep was re-recorded by the refresh
+      // that moved it, so no record predates the sweep's start.
+      indexFloor_ = janitorCycleStartAt_;
+    }
+  }
+}
+
 const std::vector<int>& Channel::receiverCandidates(geom::Point2 center) {
   const double queryRange = effectiveQueryRange_;
   const sim::SimTime now = sim_.now();
-  if (!indexGrid_ || now - indexBuiltAt_ > indexRebuildInterval_) {
-    std::vector<geom::Point2> pts;
-    pts.reserve(macs_.size());
-    indexToMacId_.clear();
-    for (std::size_t id = 0; id < macs_.size(); ++id) {
-      if (macs_[id] == nullptr) continue;
-      pts.push_back(positionOf_(static_cast<int>(id)));
-      indexToMacId_.push_back(static_cast<int>(id));
-    }
-    indexGrid_ = std::make_unique<geom::SpatialGrid>(
-        std::move(pts), queryRange + indexSlack_);
-    indexBuiltAt_ = now;
-  }
+  if (!indexGrid_) buildIndex(now);
   candidateScratch_.clear();
-  indexGrid_->queryRadius(center, queryRange + indexSlack_,
-                          candidateScratch_);
-  for (int& c : candidateScratch_) {
-    c = indexToMacId_[static_cast<std::size_t>(c)];
+  if (indexMode_ == IndexMode::kSnapshot) {
+    if (now - indexBuiltAt_ > indexRebuildInterval_) refreshAllRecords(now);
+    indexGrid_->queryRadius(center, queryRange + indexSlack_,
+                            candidateScratch_);
+  } else {
+    // Keep the staleness floor moving, then freshen the tiles this scan
+    // will visit (activity-driven: a region with traffic stays fresh and
+    // pays tight pads; idle regions are only touched by the janitor).
+    janitorStep(now);
+    const double window =
+        queryRange + indexMaxSpeed_ * (now - indexFloor_) + 1e-6;
+    indexGrid_->forEachTileInRect(
+        center.x - window, center.y - window, center.x + window,
+        center.y + window, [&](int tile) {
+          if (now - tileStamp_[static_cast<std::size_t>(tile)] >
+              indexRebuildInterval_) {
+            refreshTile(tile, now);
+          }
+        });
+    // Collect with per-record pads. A node in true range R satisfies
+    // dist(recorded, center) <= R + maxSpeed * (now - its sample time), so
+    // admission on recorded positions keeps every possibly-in-range node;
+    // the window above is the same bound taken at the staleness floor.
+    // Refreshes relink movers before this pass; a mover relinked out of
+    // the window is beyond query range by construction.
+    indexGrid_->forEachTileInRect(
+        center.x - window, center.y - window, center.x + window,
+        center.y + window, [&](int tile) {
+          indexGrid_->forEachInTile(tile, [&](int i) {
+            const double reach =
+                queryRange +
+                indexMaxSpeed_ * (now - indexGrid_->sampleTime(i)) + 1e-6;
+            if (geom::dist2(indexGrid_->recordedPos(i), center) <=
+                reach * reach) {
+              candidateScratch_.push_back(i);
+            }
+          });
+        });
   }
   // Ascending ids: receivers are visited in exactly the full-scan order, so
   // enabling the index never reorders simulation events.
@@ -149,6 +266,8 @@ bool Channel::mediumBusy(int nodeId) const {
     const ActiveTx& tx = history_[j];
     if (tx.maxEndUpTo <= now) break;
     if (tx.end <= now || tx.sender == nodeId) continue;
+    const double cs = csRangeFor(tx.sender);
+    if (geom::dist2(tx.senderPos, pos) > cs * cs) continue;
     if (powerAt(tx, pos) >= thresholds_.csThresholdW) return true;
   }
   return false;
@@ -162,6 +281,8 @@ sim::SimTime Channel::nextIdleHint(int nodeId) const {
     const ActiveTx& tx = history_[j];
     if (tx.maxEndUpTo <= now) break;
     if (tx.end <= now || tx.sender == nodeId) continue;
+    const double cs = csRangeFor(tx.sender);
+    if (geom::dist2(tx.senderPos, pos) > cs * cs) continue;
     if (powerAt(tx, pos) >= thresholds_.csThresholdW) t = std::max(t, tx.end);
   }
   return t;
@@ -237,7 +358,16 @@ void Channel::finishTransmission(std::uint64_t txId) {
       // [txStart, txEnd) from a different sender. The backward walk stops
       // at the prefix-max bound exactly like mediumBusy. Ring *indices*
       // (not references) survive a mid-delivery push_back, so the collision
-      // loop re-fetches entries by index.
+      // loop re-fetches entries by index. Entries whose carrier-sense reach
+      // cannot span dist(sender, other) - maxCandDist are below
+      // csThresholdW at every candidate (triangle inequality: each
+      // candidate sits within maxCandDist of the sender), so dropping them
+      // cannot flip any collision verdict.
+      double maxCandDist2 = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        maxCandDist2 = std::max(maxCandDist2, candDist2_[i]);
+      }
+      const double maxCandDist = std::sqrt(maxCandDist2);
       overlapIdx_.clear();
       overlapPower_.clear();
       for (std::size_t j = history_.size(); j-- > 0;) {
@@ -245,6 +375,8 @@ void Channel::finishTransmission(std::uint64_t txId) {
         if (other.maxEndUpTo <= txStart) break;
         if (other.sender == sender) continue;
         if (other.start >= txEnd || txStart >= other.end) continue;
+        const double reach = csRangeFor(other.sender) + maxCandDist;
+        if (geom::dist2(other.senderPos, senderPos) > reach * reach) continue;
         overlapIdx_.push_back(j);
         overlapPower_.push_back(txPowerFor(other.sender));
       }
@@ -267,6 +399,10 @@ void Channel::finishTransmission(std::uint64_t txId) {
           const int otherSender = other.sender;
           const geom::Point2 otherPos = other.senderPos;
           if (otherSender == v) continue;
+          // Per-candidate prefilter: past carrier-sense reach the power
+          // check below is guaranteed false — skip the propagation virtual.
+          const double cs = csRangeFor(otherSender);
+          if (geom::dist2(otherPos, candPos_[i]) > cs * cs) continue;
           const double p = model_.rxPower(overlapPower_[k],
                                           geom::dist(otherPos, candPos_[i]));
           if (p >= thresholds_.csThresholdW && p * kCaptureRatio > signal) {

@@ -47,11 +47,32 @@ void NeighborService::sendHello() {
   hello.sentAt = sim_.now();
   hello.neighbors.clear();
   std::size_t bytes = params_.baseBytes;
-  if (params_.includeNeighborList) {
-    for (const auto& [id, rec] : table_) {
-      if (!fresh(rec)) continue;
-      hello.neighbors.push_back({id, rec.pos, rec.heard});
-      bytes += params_.perNeighborBytes;
+  const double evictHorizon = params_.evictAfterFactor > 0.0
+                                  ? params_.evictAfterFactor * params_.expiry
+                                  : 0.0;
+  for (auto it = table_.begin(); it != table_.end();) {
+    NeighborRecord& rec = it->second;
+    if (fresh(rec)) {
+      if (params_.includeNeighborList) {
+        hello.neighbors.push_back({it->first, rec.pos, rec.heard});
+        bytes += params_.perNeighborBytes;
+      }
+      ++it;
+      continue;
+    }
+    // Stale record. Its `reported` list is dead weight: no reader looks at
+    // a stale record's entries, and a future hello from this id overwrites
+    // them — so freeing the heap now is observation-equivalent and keeps
+    // long runs from accumulating one 2-hop snapshot per node ever heard.
+    if (!rec.reported.empty()) {
+      rec.reported.clear();
+      rec.reported.shrink_to_fit();
+    }
+    if (evictHorizon > 0.0 &&
+        sim_.now() - rec.heard > params_.expiry + evictHorizon) {
+      it = table_.erase(it);
+    } else {
+      ++it;
     }
   }
   Packet p;

@@ -52,6 +52,15 @@ class NeighborService {
     /// Expected 1-hop neighborhood size; the table reserves this many
     /// buckets up front so steady-state hello handling never rehashes.
     std::size_t expectedNeighbors = 32;
+    /// Steady-state memory bound for long/large runs: records that have
+    /// been stale for more than `evictAfterFactor * expiry` seconds are
+    /// erased during the beacon sweep. 0 (default) keeps every record for
+    /// the life of the node — the historical behavior the goldens were
+    /// recorded under. Eviction never changes which neighbors are *fresh*,
+    /// but re-inserting a previously-erased id can land at a different
+    /// hash-table position than an in-place update would have, which can
+    /// reorder hello payloads — hence opt-in rather than always-on.
+    double evictAfterFactor = 0.0;
   };
 
   /// New-contact callback: fires when a hello arrives from a node that was

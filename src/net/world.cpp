@@ -49,9 +49,16 @@ void World::setAgent(int id, std::unique_ptr<Agent> agent) {
       [raw](const Packet& p, int dst, bool ok) { raw->onTxStatus(p, dst, ok); });
 }
 
-void World::enableSpatialIndex(double maxSpeed, double rebuildInterval) {
+void World::enableSpatialIndex(double maxSpeed, double rebuildInterval,
+                               mac::Channel::IndexMode mode) {
   channel_.enableReceiverIndex(channel_.thresholds().rxRange, maxSpeed,
-                               rebuildInterval);
+                               rebuildInterval, mode);
+}
+
+void World::reserveNodes(std::size_t n) {
+  nodes_.reserve(n);
+  posCache_.reserve(n);
+  posAt_.reserve(n);
 }
 
 void World::setNodeRadius(int id, double range) {

@@ -1,6 +1,7 @@
 #include "phy/propagation.hpp"
 
 #include <cmath>
+#include <limits>
 #include <numbers>
 #include <stdexcept>
 
@@ -8,13 +9,22 @@ namespace glr::phy {
 
 namespace {
 constexpr double kPi = std::numbers::pi;
-}
+/// Relative safety margin on inverted path-loss distances: the closed-form
+/// inversions below are exact up to FP rounding, so a few ppm of slack
+/// guarantees maxRangeFor never under-estimates the true reach.
+constexpr double kRangeMargin = 1.0 + 1e-6;
+}  // namespace
 
 void PropagationModel::rxPowerFromDist2(double txPowerW, const double* dist2,
                                         double* out, std::size_t n) const {
   for (std::size_t i = 0; i < n; ++i) {
     out[i] = rxPower(txPowerW, std::sqrt(dist2[i]));
   }
+}
+
+double PropagationModel::maxRangeFor(double /*txPowerW*/,
+                                     double /*thresholdW*/) const {
+  return std::numeric_limits<double>::infinity();
 }
 
 double TwoRayGround::crossoverDistance() const {
@@ -60,11 +70,45 @@ void TwoRayGround::rxPowerFromDist2(double txPowerW, const double* dist2,
   }
 }
 
+double TwoRayGround::maxRangeFor(double txPowerW, double thresholdW) const {
+  if (!(thresholdW > 0.0) || !(txPowerW > 0.0)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // Both branches are strictly decreasing and meet continuously at the
+  // crossover, so invert whichever regime the threshold falls in.
+  const double cross = crossoverDistance();
+  const double atCross = rxPower(txPowerW, cross);
+  double d = 0.0;
+  if (thresholdW <= atCross) {
+    // d^4 regime: threshold == Pt*Gt*Gr*ht^2*hr^2 / (d^4 * L).
+    const double ht2 = p_.antennaHeightTx * p_.antennaHeightTx;
+    const double hr2 = p_.antennaHeightRx * p_.antennaHeightRx;
+    d = std::sqrt(std::sqrt(txPowerW * p_.gainTx * p_.gainRx * ht2 * hr2 /
+                            (thresholdW * p_.systemLoss)));
+  } else {
+    // Friis regime: threshold == Pt*Gt*Gr / ((4*pi*d/lambda)^2 * L).
+    d = p_.wavelength / (4.0 * kPi) *
+        std::sqrt(txPowerW * p_.gainTx * p_.gainRx /
+                  (thresholdW * p_.systemLoss));
+  }
+  return d * kRangeMargin;
+}
+
 double FreeSpace::rxPower(double txPowerW, double d) const {
   if (d < 0.0) throw std::invalid_argument{"FreeSpace: negative distance"};
   if (d == 0.0) return txPowerW;
   const double denom = 4.0 * kPi * d / p_.wavelength;
   return txPowerW * p_.gainTx * p_.gainRx / (denom * denom * p_.systemLoss);
+}
+
+double FreeSpace::maxRangeFor(double txPowerW, double thresholdW) const {
+  if (!(thresholdW > 0.0) || !(txPowerW > 0.0)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double d = p_.wavelength / (4.0 * kPi) *
+                   std::sqrt(txPowerW * p_.gainTx * p_.gainRx /
+                             (thresholdW * p_.systemLoss));
+  return d * kRangeMargin;
 }
 
 RadioThresholds solveThresholds(const PropagationModel& model,

@@ -28,6 +28,17 @@ class PropagationModel {
   /// scalar path — delivery decisions are pinned by golden tests.
   virtual void rxPowerFromDist2(double txPowerW, const double* dist2,
                                 double* out, std::size_t n) const;
+
+  /// Conservative reach bound: a distance D such that rxPower(txPowerW, d)
+  /// < thresholdW for every d > D. Used by the channel to skip interferers
+  /// that provably cannot matter, so the bound may be loose but must never
+  /// under-estimate (skipping a relevant interferer would change pinned
+  /// results). The default returns +infinity — no filtering — so custom
+  /// models are safe without an override; the shipped models invert their
+  /// (continuous, strictly decreasing) path-loss laws in closed form with a
+  /// small safety margin.
+  [[nodiscard]] virtual double maxRangeFor(double txPowerW,
+                                           double thresholdW) const;
 };
 
 /// ns-2 TwoRayGround: Friis below the crossover distance
@@ -49,6 +60,8 @@ class TwoRayGround final : public PropagationModel {
   [[nodiscard]] double rxPower(double txPowerW, double d) const override;
   void rxPowerFromDist2(double txPowerW, const double* dist2, double* out,
                         std::size_t n) const override;
+  [[nodiscard]] double maxRangeFor(double txPowerW,
+                                   double thresholdW) const override;
 
   /// Distance where the free-space and two-ray formulas meet.
   [[nodiscard]] double crossoverDistance() const;
@@ -73,6 +86,8 @@ class FreeSpace final : public PropagationModel {
   explicit FreeSpace(Params p) : p_(p) {}
 
   [[nodiscard]] double rxPower(double txPowerW, double d) const override;
+  [[nodiscard]] double maxRangeFor(double txPowerW,
+                                   double thresholdW) const override;
 
  private:
   Params p_;

@@ -13,7 +13,7 @@ DirectDeliveryAgent::DirectDeliveryAgent(net::World& world, int self,
       rng_(rng),
       neighbors_(world.sim(), world.macOf(self), self,
                  [this] { return myPos(); }, params.hello, rng.fork(1)),
-      buffer_(params.storageLimit) {}
+      buffer_(params.storageLimit, params.expectedBufferedCopies) {}
 
 void DirectDeliveryAgent::start() {
   neighbors_.start();

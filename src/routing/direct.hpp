@@ -19,6 +19,8 @@ namespace glr::routing {
 
 struct DirectParams {
   std::size_t storageLimit = dtn::kUnlimitedStorage;
+  /// Buffer index pre-size hint (see MessageBuffer); 0 = no hint.
+  std::size_t expectedBufferedCopies = 0;
   std::size_t payloadBytes = 1000;
   std::size_t dataHeaderBytes = 28;
   double checkInterval = 1.0;

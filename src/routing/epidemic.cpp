@@ -12,7 +12,7 @@ EpidemicAgent::EpidemicAgent(net::World& world, int self,
       rng_(rng),
       neighbors_(world.sim(), world.macOf(self), self,
                  [this] { return myPos(); }, params.hello, rng.fork(1)),
-      buffer_(params.storageLimit) {
+      buffer_(params.storageLimit, params.expectedBufferedCopies) {
   neighbors_.setContactCallback(
       [this](int id) { sendSummary(id, /*full=*/true); });
 }

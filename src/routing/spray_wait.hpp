@@ -22,6 +22,8 @@ namespace glr::routing {
 struct SprayWaitParams {
   int copyBudget = 8;  // L: initial number of logical copies
   std::size_t storageLimit = dtn::kUnlimitedStorage;
+  /// Buffer index pre-size hint (see MessageBuffer); 0 = no hint.
+  std::size_t expectedBufferedCopies = 0;
   std::size_t payloadBytes = 1000;
   std::size_t dataHeaderBytes = 30;  // data header + budget field
   std::size_t svHeaderBytes = 20;

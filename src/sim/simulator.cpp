@@ -83,13 +83,18 @@ void Simulator::siftDownHole(std::size_t i, HeapKey key, HeapAux aux) {
 }
 
 void Simulator::skipStale() {
-  while (!heapKeys_.empty() && stale(heapAux_.front())) {
-    heapPopTop();
+  while (!qEmpty() && stale(qTopAux())) {
+    qPop();
     --staleCount_;
   }
 }
 
 void Simulator::compactHeap() {
+  if (cal_) {
+    cal_->removeIf([this](const HeapAux& aux) { return stale(aux); });
+    staleCount_ = 0;
+    return;
+  }
   const std::size_t n = heapKeys_.size();
   std::size_t w = 0;
   for (std::size_t r = 0; r < n; ++r) {
@@ -112,27 +117,31 @@ void Simulator::compactHeap() {
 
 bool Simulator::hasPending() {
   skipStale();
-  return !heapKeys_.empty();
+  return !qEmpty();
 }
 
 void Simulator::reserve(std::size_t events) {
   slab_.reserve(events);
-  heapKeys_.reserve(events);
-  heapAux_.reserve(events);
+  if (cal_) {
+    cal_->reserve(events);
+  } else {
+    heapKeys_.reserve(events);
+    heapAux_.reserve(events);
+  }
 }
 
 std::uint64_t Simulator::fireTop() {
   // One peek serves the stale check, the callback fetch, and the clock
   // bump: the slot's cacheline is loaded exactly once per event.
-  const HeapAux aux = heapAux_.front();
+  const HeapAux aux = qTopAux();
   Slot& s = slab_[aux.slot];
   if (s.generation != aux.generation) {
-    heapPopTop();
+    qPop();
     --staleCount_;
     return 0;
   }
-  now_ = bitsToTime(heapKeys_.front().timeBits);
-  heapPopTop();
+  now_ = bitsToTime(qTopKey().timeBits);
+  qPop();
   // Move the callback out and free the slot *before* invoking: the callback
   // may schedule new events (reusing this very slot) and late cancels on it
   // must already be no-ops. `s` stays valid — only the callback can grow
@@ -156,8 +165,8 @@ std::uint64_t Simulator::run(SimTime until) {
   }
   std::uint64_t ran = 0;
   const std::uint64_t untilBits = timeToBits(until);
-  while (!heapKeys_.empty() && !stopped_) {
-    if (heapKeys_.front().timeBits > untilBits && !stale(heapAux_.front())) {
+  while (!qEmpty() && !stopped_) {
+    if (qTopKey().timeBits > untilBits && !stale(qTopAux())) {
       break;
     }
     ran += fireTop();
@@ -165,14 +174,14 @@ std::uint64_t Simulator::run(SimTime until) {
   // The old kernel skipped cancelled heads before observing stop(), so a
   // queue holding only dead records still counted as drained.
   if (stopped_) skipStale();
-  if (heapKeys_.empty() && now_ < until && until < kForever) now_ = until;
+  if (qEmpty() && now_ < until && until < kForever) now_ = until;
   return ran;
 }
 
 std::uint64_t Simulator::step(std::uint64_t n) {
   stopped_ = false;
   std::uint64_t ran = 0;
-  while (ran < n && !heapKeys_.empty() && !stopped_) {
+  while (ran < n && !qEmpty() && !stopped_) {
     ran += fireTop();
   }
   return ran;

@@ -21,10 +21,12 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "sim/calendar_queue.hpp"
 #include "sim/inplace_function.hpp"
 
 namespace glr::sim {
@@ -73,6 +75,30 @@ class Simulator {
 
   using Callback = InplaceFunction<void(), kSimCallbackCapacity>;
 
+  /// Which structure orders the pending-event set. Both fire the identical
+  /// event sequence (same (time, seq) tie-break); they differ only in cost
+  /// profile — the 4-ary heap is the small/medium-scenario default, the
+  /// calendar queue keeps per-event cost flat for million-deep queues.
+  enum class QueueMode { kHeap4, kCalendar };
+
+  /// Switches the event-ordering structure. Only legal while the queue is
+  /// empty (typically right after construction, before any scheduling).
+  void setQueueMode(QueueMode mode) {
+    if (queueSize() != 0) {
+      throw std::logic_error{
+          "Simulator::setQueueMode: queue must be empty to switch"};
+    }
+    if (mode == QueueMode::kCalendar) {
+      if (!cal_) cal_ = std::make_unique<CalendarQueue>();
+    } else {
+      cal_.reset();
+    }
+  }
+
+  [[nodiscard]] QueueMode queueMode() const {
+    return cal_ ? QueueMode::kCalendar : QueueMode::kHeap4;
+  }
+
   /// Current simulation time (seconds).
   [[nodiscard]] SimTime now() const { return now_; }
 
@@ -103,7 +129,9 @@ class Simulator {
   [[nodiscard]] std::uint64_t eventsExecuted() const { return executed_; }
 
   /// Events currently queued (including cancelled-but-not-popped ones).
-  [[nodiscard]] std::size_t queueSize() const { return heapKeys_.size(); }
+  [[nodiscard]] std::size_t queueSize() const {
+    return cal_ ? cal_->size() : heapKeys_.size();
+  }
 
   /// Whether there is at least one non-cancelled event pending.
   [[nodiscard]] bool hasPending();
@@ -139,15 +167,10 @@ class Simulator {
   /// non-negative doubles order identically to their bit patterns, so the
   /// comparator is pure integer work (no NaN/denormal edge cases in the hot
   /// loop) while breaking ties by insertion order exactly like the old
-  /// (time, seq) comparator.
-  struct HeapKey {
-    std::uint64_t timeBits;
-    std::uint64_t seq;
-  };
-  struct HeapAux {
-    std::uint32_t slot;
-    std::uint32_t generation;
-  };
+  /// (time, seq) comparator. The record types are shared with the calendar
+  /// queue (calendar_queue.hpp) so both modes order the same data.
+  using HeapKey = EventKey;
+  using HeapAux = EventAux;
 
   static std::uint64_t timeToBits(SimTime t) {
     // +0.0 canonicalizes -0.0 (whose bit pattern would misorder).
@@ -161,8 +184,7 @@ class Simulator {
   static bool earlier(const HeapKey& a, const HeapKey& b) {
     // Distinct times dominate and the equality branch predicts ~always
     // taken; the data-random outcome below it compiles to setcc/cmov.
-    if (a.timeBits != b.timeBits) return a.timeBits < b.timeBits;
-    return a.seq < b.seq;
+    return earlierKey(a, b);
   }
 
   [[nodiscard]] bool stale(const HeapAux& a) const {
@@ -171,6 +193,25 @@ class Simulator {
 
   void heapPush(HeapKey key, HeapAux aux);
   void heapPopTop();
+
+  /// Queue-mode dispatch. One predictable branch on `cal_`; the heap path
+  /// stays the fall-through so the default mode's hot loop is unperturbed.
+  [[nodiscard]] bool qEmpty() const {
+    return cal_ ? cal_->empty() : heapKeys_.empty();
+  }
+  [[nodiscard]] const HeapKey& qTopKey() {
+    return cal_ ? cal_->topKey() : heapKeys_.front();
+  }
+  [[nodiscard]] const HeapAux& qTopAux() {
+    return cal_ ? cal_->topAux() : heapAux_.front();
+  }
+  void qPop() {
+    if (cal_) {
+      cal_->popTop();
+    } else {
+      heapPopTop();
+    }
+  }
   /// Sinks the record in the hole at `i` to its place, assuming children of
   /// `i` may violate the heap property with respect to (key, aux).
   void siftDownHole(std::size_t i, HeapKey key, HeapAux aux);
@@ -217,8 +258,7 @@ class Simulator {
     // bulk when they pile up.
     releaseSlot(slot);
     ++staleCount_;
-    if (staleCount_ > kCompactMinStale &&
-        staleCount_ * 2 > heapKeys_.size()) {
+    if (staleCount_ > kCompactMinStale && staleCount_ * 2 > queueSize()) {
       compactHeap();
     }
     return true;
@@ -235,6 +275,9 @@ class Simulator {
   std::uint32_t freeHead_ = kNilSlot;
   std::vector<HeapKey> heapKeys_;
   std::vector<HeapAux> heapAux_;
+  /// Non-null iff the calendar-queue mode is active (then heapKeys_/heapAux_
+  /// stay empty and all records live in the wheel).
+  std::unique_ptr<CalendarQueue> cal_;
   /// Heap records whose event was cancelled (fired events pop immediately,
   /// cancelled ones linger); drives the compaction heuristic.
   std::size_t staleCount_ = 0;
@@ -262,7 +305,13 @@ inline EventHandle Simulator::scheduleAt(SimTime t, Callback fn) {
   const std::uint32_t slot = acquireSlot();
   Slot& s = slab_[slot];
   s.fn = std::move(fn);
-  heapPush({timeToBits(t), nextSeq_++}, {slot, s.generation});
+  const HeapKey key{timeToBits(t), nextSeq_++};
+  const HeapAux aux{slot, s.generation};
+  if (cal_) {
+    cal_->push(key, aux);
+  } else {
+    heapPush(key, aux);
+  }
   return EventHandle{this, slot, s.generation};
 }
 

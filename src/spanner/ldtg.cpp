@@ -1,8 +1,10 @@
 #include "spanner/ldtg.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -97,15 +99,30 @@ namespace {
 /// buffers and the two Delaunay result objects (rebuilt in place via
 /// Delaunay::buildInto) makes the steady-state spanner path allocation-free
 /// apart from the returned neighbor list.
+/// One witness's lazily built view: the subset of the local point set it can
+/// see, that subset's triangulation, and the local-view -> witness-local
+/// index map. Pooled so steady-state route checks reuse the storage; within
+/// one check the entry is shared by every candidate edge the witness vets.
+struct WitnessEntry {
+  std::vector<geom::Point2> pts;
+  std::vector<int> localOf;  // local-view index -> witness-local; -1 absent
+  geom::Delaunay dt;
+};
+
 struct SpannerScratch {
   std::vector<int> ids;
   std::vector<geom::Point2> pts;
   std::vector<char> oneHop;
   std::vector<std::size_t> candidates;
-  std::vector<geom::Point2> wPts;
-  std::vector<std::size_t> wIds;
   geom::Delaunay dt;
-  geom::Delaunay wdt;
+
+  // Per-call witness-triangulation cache: witnessSlot[wi] is the pool slot
+  // whose entry triangulates witness wi's visible set (-1 = not built yet
+  // this call). The visible set depends only on the witness, never on the
+  // candidate under test, so reuse is exact.
+  std::vector<std::unique_ptr<WitnessEntry>> witnessPool;
+  std::vector<int> witnessSlot;
+  std::size_t witnessUsed = 0;
 
   // Generation-stamped dedup table indexed by (dense, non-negative) node
   // id: seen(id) is O(1) and the per-call "clear" is one counter bump —
@@ -145,11 +162,99 @@ SpannerScratch& spannerScratch() {
   return s;
 }
 
+/// Bit-level double equality: the memo below must hit only when every input
+/// is *identical to the bits*, so value equality (which conflates +0/-0 and
+/// rejects NaN == NaN) is not the right predicate.
+[[nodiscard]] bool sameBits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+/// Memoised (inputs -> result) entry for one computing node. The full input
+/// is retained and compared bit-for-bit on lookup, so a hit can never alias
+/// two distinct neighborhoods (no hash-collision risk).
+struct SpannerMemo {
+  bool valid = false;
+  bool witnessRule = false;
+  double radius = 0.0;
+  geom::Point2 selfPos;
+  std::vector<KnownNode> known;
+  std::vector<int> result;
+};
+
+struct SpannerMemoCache {
+  std::vector<SpannerMemo> byId;  // indexed by selfId (dense, >= 0)
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+SpannerMemoCache& spannerMemoCache() {
+  static thread_local SpannerMemoCache c;
+  return c;
+}
+
+[[nodiscard]] bool memoMatches(const SpannerMemo& m, geom::Point2 selfPos,
+                               const std::vector<KnownNode>& known,
+                               double radius, bool witnessRule) {
+  if (!m.valid || m.witnessRule != witnessRule ||
+      !sameBits(m.radius, radius) || !sameBits(m.selfPos.x, selfPos.x) ||
+      !sameBits(m.selfPos.y, selfPos.y) || m.known.size() != known.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < known.size(); ++i) {
+    const KnownNode& a = m.known[i];
+    const KnownNode& b = known[i];
+    if (a.id != b.id || a.oneHop != b.oneHop || !sameBits(a.pos.x, b.pos.x) ||
+        !sameBits(a.pos.y, b.pos.y)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
+
+SpannerCacheStats localSpannerCacheStats() {
+  const SpannerMemoCache& c = spannerMemoCache();
+  return {c.hits, c.misses};
+}
+
+void resetLocalSpannerCache() {
+  SpannerMemoCache& c = spannerMemoCache();
+  c.byId.clear();
+  c.byId.shrink_to_fit();
+  c.hits = 0;
+  c.misses = 0;
+}
 
 std::vector<int> localSpannerNeighbors(int selfId, geom::Point2 selfPos,
                                        const std::vector<KnownNode>& known,
                                        double radius, bool applyWitnessRule) {
+  // Memo fast path: while a node's gathered knowledge sits still between
+  // route checks (the common steady state), the previous answer is returned
+  // without touching any geometry. The guard compares every input bit for
+  // bit, so a hit is exactly the recomputation it skips.
+  SpannerMemoCache& memoCache = spannerMemoCache();
+  SpannerMemo* memo = nullptr;
+  if (selfId >= 0) {
+    const auto mi = static_cast<std::size_t>(selfId);
+    if (memoCache.byId.size() <= mi) memoCache.byId.resize(mi + 1);
+    memo = &memoCache.byId[mi];
+    if (memoMatches(*memo, selfPos, known, radius, applyWitnessRule)) {
+      ++memoCache.hits;
+      return memo->result;
+    }
+    ++memoCache.misses;
+  }
+  const auto memoise = [&](const std::vector<int>& result) {
+    if (memo == nullptr) return;
+    memo->valid = true;
+    memo->witnessRule = applyWitnessRule;
+    memo->radius = radius;
+    memo->selfPos = selfPos;
+    memo->known = known;
+    memo->result = result;
+  };
+
   const double r2 = radius * radius;
   SpannerScratch& s = spannerScratch();
 
@@ -165,7 +270,10 @@ std::vector<int> localSpannerNeighbors(int selfId, geom::Point2 selfPos,
     s.pts.push_back(kn.pos);
     s.oneHop.push_back(kn.oneHop ? 1 : 0);
   }
-  if (s.ids.size() < 2) return {};
+  if (s.ids.size() < 2) {
+    memoise({});
+    return {};
+  }
 
   // Delaunay of the whole local view; candidates are edges incident to self
   // whose other endpoint is a direct neighbor within range.
@@ -182,13 +290,41 @@ std::vector<int> localSpannerNeighbors(int selfId, geom::Point2 selfPos,
   if (!applyWitnessRule) {
     for (std::size_t i : s.candidates) accepted.push_back(s.ids[i]);
     std::sort(accepted.begin(), accepted.end());
+    memoise(accepted);
     return accepted;
   }
 
   // Witness rule, evaluated on the knowledge this node actually has: every
   // 1-hop neighbor w that (locally) sees both self and the candidate must
   // also keep the edge in the Delaunay triangulation of w's visible
-  // neighborhood.
+  // neighborhood. A witness typically vets several candidate edges; its
+  // visible set (and hence its triangulation) is the same for all of them,
+  // so it is built lazily on first need and shared for the rest of the
+  // call via witnessSlot.
+  s.witnessSlot.assign(s.ids.size(), -1);
+  s.witnessUsed = 0;
+  const auto witnessEntry = [&](std::size_t wi) -> const WitnessEntry& {
+    int slot = s.witnessSlot[wi];
+    if (slot >= 0) return *s.witnessPool[static_cast<std::size_t>(slot)];
+    slot = static_cast<int>(s.witnessUsed++);
+    if (s.witnessPool.size() < s.witnessUsed) {
+      s.witnessPool.push_back(std::make_unique<WitnessEntry>());
+    }
+    s.witnessSlot[wi] = slot;
+    WitnessEntry& e = *s.witnessPool[static_cast<std::size_t>(slot)];
+    const geom::Point2 wPos = s.pts[wi];
+    e.pts.clear();
+    e.localOf.assign(s.ids.size(), -1);
+    for (std::size_t x = 0; x < s.ids.size(); ++x) {
+      if (geom::dist2(s.pts[x], wPos) <= r2) {
+        e.localOf[x] = static_cast<int>(e.pts.size());
+        e.pts.push_back(s.pts[x]);
+      }
+    }
+    geom::Delaunay::buildInto(e.dt, e.pts);
+    return e;
+  };
+
   for (std::size_t vi : s.candidates) {
     const geom::Point2 vPos = s.pts[vi];
     bool vetoed = false;
@@ -199,29 +335,19 @@ std::vector<int> localSpannerNeighbors(int selfId, geom::Point2 selfPos,
       if (geom::dist2(wPos, selfPos) > r2 || geom::dist2(wPos, vPos) > r2) {
         continue;  // witness cannot see both endpoints
       }
-      s.wPts.clear();
-      s.wIds.clear();
-      for (std::size_t x = 0; x < s.ids.size(); ++x) {
-        if (geom::dist2(s.pts[x], wPos) <= r2) {
-          s.wPts.push_back(s.pts[x]);
-          s.wIds.push_back(x);
-        }
-      }
-      geom::Delaunay::buildInto(s.wdt, s.wPts);
-      int selfLocal = -1, vLocal = -1;
-      for (std::size_t x = 0; x < s.wIds.size(); ++x) {
-        if (s.wIds[x] == 0) selfLocal = static_cast<int>(x);
-        if (s.wIds[x] == vi) vLocal = static_cast<int>(x);
-      }
+      const WitnessEntry& e = witnessEntry(wi);
+      const int selfLocal = e.localOf[0];
+      const int vLocal = e.localOf[vi];
       if (selfLocal >= 0 && vLocal >= 0 &&
-          !s.wdt.hasEdge(s.wdt.canonicalIndex(selfLocal),
-                         s.wdt.canonicalIndex(vLocal))) {
+          !e.dt.hasEdge(e.dt.canonicalIndex(selfLocal),
+                        e.dt.canonicalIndex(vLocal))) {
         vetoed = true;
       }
     }
     if (!vetoed) accepted.push_back(s.ids[vi]);
   }
   std::sort(accepted.begin(), accepted.end());
+  memoise(accepted);
   return accepted;
 }
 

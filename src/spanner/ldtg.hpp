@@ -21,6 +21,7 @@
 /// from hello beacons (its <= k-hop neighbor positions) and returns the
 /// node's spanner neighbors.
 
+#include <cstdint>
 #include <vector>
 
 #include "geometry/point.hpp"
@@ -54,8 +55,28 @@ struct KnownNode {
 /// `applyWitnessRule`, 1-hop witnesses veto edges that their locally visible
 /// neighborhoods triangulate differently (paper rule); without, the node
 /// keeps every local-Delaunay edge incident to itself (LDel-style).
+///
+/// Route checks repeat while neighborhoods sit still, so results are memoised
+/// in a thread-local cache keyed by computing node and guarded by an *exact*
+/// (bit-level) comparison of every input — a hit returns the previous answer
+/// only when the function would recompute it verbatim, so caching is
+/// bit-identical by construction. Within one computation, each witness's
+/// visible-set triangulation is built once and shared across all candidate
+/// edges it vets (neighborhood-signature reuse) instead of once per
+/// candidate x witness pair.
 [[nodiscard]] std::vector<int> localSpannerNeighbors(
     int selfId, geom::Point2 selfPos, const std::vector<KnownNode>& known,
     double radius, bool applyWitnessRule = true);
+
+/// Counters for the localSpannerNeighbors memo cache (thread-local).
+struct SpannerCacheStats {
+  std::uint64_t hits = 0;    // answered from the memo, no geometry run
+  std::uint64_t misses = 0;  // recomputed (input changed or first check)
+};
+[[nodiscard]] SpannerCacheStats localSpannerCacheStats();
+
+/// Drops every memoised entry and zeroes the counters (call between
+/// scenarios/benchmark phases so retained entries never outlive a run).
+void resetLocalSpannerCache();
 
 }  // namespace glr::spanner

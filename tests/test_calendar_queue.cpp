@@ -1,0 +1,156 @@
+// Tests for the calendar-queue kernel mode: the wheel must fire the exact
+// event sequence the 4-ary heap fires — same (time, seq) tie-break, same
+// cancellation semantics — across unit workloads, randomized
+// schedule/cancel interleavings, resize-heavy loads, and the full
+// KernelRegression golden scenario.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "experiment/runner.hpp"
+#include "experiment/scenario.hpp"
+#include "sim/calendar_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using glr::sim::CalendarQueue;
+using glr::sim::EventAux;
+using glr::sim::EventHandle;
+using glr::sim::EventKey;
+using glr::sim::Rng;
+using glr::sim::Simulator;
+
+TEST(CalendarQueue, PopsGlobalMinimumAcrossResizes) {
+  CalendarQueue q;
+  Rng rng{42};
+  std::vector<EventKey> keys;
+  for (std::uint64_t s = 0; s < 100000; ++s) {
+    const double t = rng.uniform(0.0, 5000.0);
+    keys.push_back({std::bit_cast<std::uint64_t>(t), s});
+    q.push(keys.back(), {static_cast<std::uint32_t>(s), 0});
+  }
+  std::sort(keys.begin(), keys.end(), [](const EventKey& a, const EventKey& b) {
+    return glr::sim::earlierKey(a, b);
+  });
+  for (const EventKey& expect : keys) {
+    ASSERT_FALSE(q.empty());
+    EXPECT_EQ(q.topKey().timeBits, expect.timeBits);
+    EXPECT_EQ(q.topKey().seq, expect.seq);
+    q.popTop();
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueue, SparseFarFutureTailStillOrders) {
+  CalendarQueue q;
+  // A tight cluster now plus a handful of events years of bucket-widths
+  // away exercises the direct-search fallback and the day clamp.
+  std::uint64_t seq = 0;
+  std::vector<double> times{0.001, 0.002, 0.0025, 1.0e6, 2.0e9, 3.0e15};
+  for (double t : times) {
+    q.push({std::bit_cast<std::uint64_t>(t), seq}, {0, 0});
+    ++seq;
+  }
+  std::vector<double> popped;
+  while (!q.empty()) {
+    popped.push_back(std::bit_cast<double>(q.topKey().timeBits));
+    q.popTop();
+  }
+  EXPECT_EQ(popped, times);
+}
+
+TEST(SimulatorCalendar, RunsEventsInTimeOrderWithInsertionTieBreak) {
+  Simulator sim;
+  sim.setQueueMode(Simulator::QueueMode::kCalendar);
+  std::vector<int> order;
+  sim.schedule(3.0, [&] { order.push_back(30); });
+  sim.schedule(1.0, [&] { order.push_back(10); });
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule(2.0, [&order, i] { order.push_back(20 + i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{10, 20, 21, 22, 23, 24, 30}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(SimulatorCalendar, SwitchRequiresEmptyQueue) {
+  Simulator sim;
+  sim.schedule(1.0, [] {});
+  EXPECT_THROW(sim.setQueueMode(Simulator::QueueMode::kCalendar),
+               std::logic_error);
+  sim.run();
+  EXPECT_NO_THROW(sim.setQueueMode(Simulator::QueueMode::kCalendar));
+  EXPECT_EQ(sim.queueMode(), Simulator::QueueMode::kCalendar);
+}
+
+/// Runs a shared randomized schedule/cancel/horizon script against one
+/// queue mode and returns the exact firing log.
+std::vector<std::pair<double, int>> runScript(bool calendar,
+                                              std::uint64_t seed) {
+  Simulator sim;
+  if (calendar) sim.setQueueMode(Simulator::QueueMode::kCalendar);
+  Rng rng{seed};
+  std::vector<std::pair<double, int>> fired;
+  std::vector<EventHandle> handles;
+  int nextId = 0;
+  for (int round = 0; round < 10; ++round) {
+    const double base = 10.0 * round;
+    for (int k = 0; k < 200; ++k) {
+      // Coarse-grained times force plenty of exact ties; the occasional
+      // far-future event exercises the wheel's overflow path.
+      double t = base + 0.25 * static_cast<double>(rng.below(60));
+      if (rng.below(50) == 0) t += 1.0e4;
+      const int id = nextId++;
+      handles.push_back(sim.scheduleAt(
+          t, [&fired, &sim, id] { fired.emplace_back(sim.now(), id); }));
+      if (rng.below(4) == 0 && !handles.empty()) {
+        // Cancel a random earlier event; already-fired handles are inert.
+        handles[rng.below(handles.size())].cancel();
+      }
+    }
+    sim.run(base + 10.0);
+  }
+  sim.run();
+  fired.emplace_back(static_cast<double>(sim.eventsExecuted()), -1);
+  return fired;
+}
+
+TEST(SimulatorCalendar, MatchesHeapOnRandomScheduleCancelInterleavings) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto heap = runScript(false, seed);
+    const auto cal = runScript(true, seed);
+    ASSERT_EQ(heap.size(), cal.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < heap.size(); ++i) {
+      EXPECT_EQ(heap[i].first, cal[i].first) << "seed " << seed << " i " << i;
+      EXPECT_EQ(heap[i].second, cal[i].second) << "seed " << seed << " i " << i;
+    }
+  }
+}
+
+// The tentpole pin: the KernelRegression golden scenario, run through the
+// calendar queue, must reproduce the heap's ScenarioResult bit for bit.
+TEST(SimulatorCalendar, KernelRegressionGoldenIsBitIdenticalToHeap) {
+  glr::experiment::ScenarioConfig cfg;
+  cfg.protocol = glr::experiment::Protocol::kGlr;
+  cfg.simTime = 400.0;
+  cfg.numMessages = 200;
+  cfg.radius = 100.0;
+  cfg.seed = 7;
+  const auto heap = glr::experiment::runScenario(cfg);
+  cfg.kernelQueue = glr::experiment::KernelQueue::kCalendar;
+  const auto cal = glr::experiment::runScenario(cfg);
+  EXPECT_TRUE(glr::experiment::bitIdenticalIgnoringWall(heap, cal));
+  // Anchor both against the pinned golden, not just each other.
+  EXPECT_EQ(heap.eventsExecuted, 2385279u);
+  EXPECT_EQ(cal.eventsExecuted, 2385279u);
+}
+
+}  // namespace

@@ -1,0 +1,198 @@
+// Property tests for the incremental tiled spatial index: queries over the
+// recorded point set must be bit-identical to a from-scratch SpatialGrid
+// built over the same recorded positions — across every registered mobility
+// model, under churn (remove/re-insert), and under partial (tile-like)
+// refresh where recorded positions have mixed staleness. Plus the
+// scenario-level pin: a full run with the tiled receiver index must
+// reproduce the snapshot index's ScenarioResult bit for bit.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "experiment/runner.hpp"
+#include "experiment/scenario.hpp"
+#include "geometry/point.hpp"
+#include "geometry/spatial_grid.hpp"
+#include "geometry/tiled_grid.hpp"
+#include "mobility/mobility.hpp"
+#include "mobility/registry.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using glr::geom::Point2;
+using glr::geom::SpatialGrid;
+using glr::geom::TiledSpatialGrid;
+using glr::sim::Rng;
+
+constexpr double kW = 1000.0;
+constexpr double kH = 400.0;
+constexpr double kRadius = 110.0;
+
+/// Sorted ids within `radius` of `center` per the incremental grid.
+std::vector<int> tiledQuery(const TiledSpatialGrid& grid, Point2 center,
+                            double radius) {
+  std::vector<int> out;
+  grid.queryRadius(center, radius, out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Sorted ids within `radius` of `center` per a from-scratch SpatialGrid
+/// built over exactly the grid's live recorded positions.
+std::vector<int> scratchQuery(const TiledSpatialGrid& grid, Point2 center,
+                              double radius) {
+  std::vector<int> ids;
+  std::vector<Point2> pts;
+  for (int i = 0; i < static_cast<int>(grid.capacity()); ++i) {
+    if (!grid.contains(i)) continue;
+    ids.push_back(i);
+    pts.push_back(grid.recordedPos(i));
+  }
+  SpatialGrid fresh{std::move(pts), radius};
+  std::vector<int> idx;
+  fresh.queryRadius(center, radius, idx);
+  std::vector<int> out;
+  out.reserve(idx.size());
+  for (int k : idx) out.push_back(ids[static_cast<std::size_t>(k)]);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void expectMatchesScratch(const TiledSpatialGrid& grid, Rng& rng,
+                          const std::string& label) {
+  for (int q = 0; q < 12; ++q) {
+    const Point2 center{rng.uniform(-50.0, kW + 50.0),
+                        rng.uniform(-50.0, kH + 50.0)};
+    const double radius = rng.uniform(0.0, kRadius);
+    EXPECT_EQ(tiledQuery(grid, center, radius),
+              scratchQuery(grid, center, radius))
+        << label << " center (" << center.x << ", " << center.y
+        << ") radius " << radius;
+  }
+}
+
+TEST(TiledSpatialGrid, MatchesScratchRebuildAcrossAllMobilityModelsAndChurn) {
+  constexpr int kNodes = 70;
+  for (const std::string& model : glr::mobility::mobilityModelNames()) {
+    glr::mobility::ModelParams params;
+    params.area = {kW, kH};
+    params.speedMin = 0.5;
+    params.speedMax = 20.0;
+    params.pause = 0.5;
+    Rng master{static_cast<std::uint64_t>(
+        std::hash<std::string>{}(model) | 1u)};
+    params.home = {kW / 2.0, kH / 2.0};
+
+    std::vector<std::unique_ptr<glr::mobility::MobilityModel>> nodes;
+    TiledSpatialGrid grid{{0.0, 0.0}, {kW, kH}, kRadius, kNodes};
+    Rng placement = master.fork(1);
+    for (int i = 0; i < kNodes; ++i) {
+      const Point2 start = glr::mobility::randomPosition(params.area,
+                                                         placement);
+      nodes.push_back(glr::mobility::makeMobilityModel(
+          model, params, start, master.fork(100 + i)));
+      grid.update(i, start, 0.0);
+    }
+
+    Rng churnRng = master.fork(2);
+    Rng queryRng = master.fork(3);
+    std::vector<bool> up(kNodes, true);
+    for (int step = 1; step <= 20; ++step) {
+      const double t = 0.7 * step;
+      // Churn: toggle a few nodes each step; down nodes leave the index,
+      // returning nodes re-enter at their current position.
+      for (int k = 0; k < 4; ++k) {
+        const int i = static_cast<int>(churnRng.below(kNodes));
+        up[static_cast<std::size_t>(i)] = !up[static_cast<std::size_t>(i)];
+        if (!up[static_cast<std::size_t>(i)]) grid.remove(i);
+      }
+      // Partial refresh — only a staggered third of the up nodes re-record
+      // each step (mirroring tile-wise refresh), so recorded positions have
+      // mixed staleness when the comparison runs.
+      for (int i = 0; i < kNodes; ++i) {
+        if (!up[static_cast<std::size_t>(i)]) continue;
+        const bool due = (i + step) % 3 == 0 || !grid.contains(i);
+        if (due) {
+          grid.update(i, nodes[static_cast<std::size_t>(i)]->positionAt(t),
+                      t);
+        }
+      }
+      expectMatchesScratch(grid, queryRng, model + " step " +
+                                               std::to_string(step));
+    }
+  }
+}
+
+TEST(TiledSpatialGrid, HandlesPointsOutsideConstructionBounds) {
+  TiledSpatialGrid grid{{0.0, 0.0}, {100.0, 100.0}, 25.0, 8};
+  // Points beyond the bounds clamp into edge tiles but keep exact recorded
+  // positions, so membership answers stay exact.
+  grid.update(0, {-40.0, 50.0}, 0.0);
+  grid.update(1, {140.0, 50.0}, 0.0);
+  grid.update(2, {50.0, 50.0}, 0.0);
+  std::vector<int> out;
+  grid.queryRadius({-35.0, 50.0}, 10.0, out);
+  EXPECT_EQ(out, (std::vector<int>{0}));
+  out.clear();
+  grid.queryRadius({50.0, 50.0}, 300.0, out);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(TiledSpatialGrid, RemoveAndRelinkKeepListsConsistent) {
+  TiledSpatialGrid grid{{0.0, 0.0}, {100.0, 100.0}, 10.0, 16};
+  Rng rng{99};
+  std::vector<bool> in(16, false);
+  for (int op = 0; op < 2000; ++op) {
+    const int i = static_cast<int>(rng.below(16));
+    if (rng.below(4) == 0 && in[static_cast<std::size_t>(i)]) {
+      grid.remove(i);
+      in[static_cast<std::size_t>(i)] = false;
+    } else {
+      grid.update(i, {rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)},
+                  static_cast<double>(op));
+      in[static_cast<std::size_t>(i)] = true;
+    }
+    const auto live = static_cast<std::size_t>(
+        std::count(in.begin(), in.end(), true));
+    ASSERT_EQ(grid.size(), live);
+    // Full-area query must see exactly the live set.
+    std::vector<int> out;
+    grid.queryRadius({50.0, 50.0}, 1000.0, out);
+    ASSERT_EQ(out.size(), live);
+  }
+}
+
+// Scenario-level pin: the activity-driven tiled index must reproduce the
+// snapshot index bit for bit on a mid-size run with churn (mobility models
+// here are pure functions of sim time; RandomWalk is excluded by the same
+// FP-replay caveat the snapshot index documents).
+TEST(TiledSpatialGrid, ScenarioResultsBitIdenticalToSnapshotIndex) {
+  for (const char* model : {"waypoint", "gauss_markov"}) {
+    glr::experiment::ScenarioConfig cfg;
+    cfg.numNodes = 80;
+    cfg.trafficNodes = 60;
+    cfg.simTime = 60.0;
+    cfg.numMessages = 40;
+    cfg.seed = 11;
+    cfg.mobility.model = model;
+    cfg.churn = glr::experiment::churnPreset("moderate");
+    const auto snapshot = glr::experiment::runScenario(cfg);
+    cfg.spatialIndex = glr::experiment::SpatialIndexMode::kTiled;
+    const auto tiled = glr::experiment::runScenario(cfg);
+    EXPECT_TRUE(glr::experiment::bitIdenticalIgnoringWall(snapshot, tiled))
+        << model;
+    EXPECT_EQ(snapshot.eventsExecuted, tiled.eventsExecuted) << model;
+    EXPECT_GT(snapshot.delivered, 0u) << model;
+  }
+}
+
+}  // namespace
