@@ -11,6 +11,10 @@
 ///   * worst    — the slowest mobility-matrix cell (epidemic + manhattan +
 ///                moderate churn: heaviest buffers, street-constrained
 ///                contact bursts, churn event load).
+///   * sat      — a saturating Poisson load well past the knee (GLR with
+///                custody watermark + AIMD window, finite storage): the
+///                overload paths — queue rejection, custody refusal and
+///                backoff, eviction — at steady state.
 /// Each workload runs `repeats` times; the JSON records best-of wall and
 /// Mev/s against the frozen PR-2 baseline (BENCH_kernel.json: 0.692 Mev/s
 /// end-to-end).
@@ -21,11 +25,16 @@
 /// catch allocation regressions on the hot path).
 ///
 /// Usage: bench_hotpath [--quick] [--out FILE.json] [--max-allocs N]
+///                      [--max-allocs-sat N]
 ///   --quick       CI mode: scaled-down scenarios, 2 repeats (the second,
 ///                 warm repeat is what --max-allocs measures).
 ///   --out         machine-readable results (default BENCH_hotpath.json).
 ///   --max-allocs  exit nonzero if the warm golden run allocates more than
 ///                 N times (heap-profile smoke; 0 disables).
+///   --max-allocs-sat  same budget gate for the warm saturated run, so an
+///                 allocation regression on the overload paths (refusal
+///                 acks, backoff requeues, evictions) cannot hide behind
+///                 the lightly-loaded golden scenario (0 disables).
 
 #include <chrono>
 #include <cstdio>
@@ -115,11 +124,38 @@ ScenarioConfig worstMatrixCell(bool quick) {
   return cfg;
 }
 
+ScenarioConfig saturatedConfig(bool quick) {
+  // Poisson offered load well past the saturation knee, with every
+  // overload control engaged: finite storage, custody watermark, AIMD
+  // custody window. Exercises refusal acks, sender backoff and evictions
+  // at steady state.
+  ScenarioConfig cfg;
+  cfg.protocol = Protocol::kGlr;
+  cfg.traffic.model = "poisson";
+  cfg.congestionControl = true;
+  if (quick) {
+    cfg.numNodes = 16;
+    cfg.trafficNodes = 14;
+    cfg.radius = 150.0;
+    cfg.simTime = 90.0;
+    cfg.storageLimit = 16;
+    cfg.traffic.rate = 30.0;
+  } else {
+    cfg.radius = 100.0;
+    cfg.simTime = 300.0;
+    cfg.storageLimit = 40;
+    cfg.traffic.rate = 50.0;
+  }
+  cfg.custodyWatermark = cfg.storageLimit / 2;
+  return cfg;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false;
   long long maxAllocs = 0;
+  long long maxAllocsSat = 0;
   std::string outPath = "BENCH_hotpath.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
@@ -128,9 +164,12 @@ int main(int argc, char** argv) {
       outPath = argv[++i];
     } else if (std::strcmp(argv[i], "--max-allocs") == 0 && i + 1 < argc) {
       maxAllocs = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-allocs-sat") == 0 && i + 1 < argc) {
+      maxAllocsSat = std::atoll(argv[++i]);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--quick] [--out FILE] [--max-allocs N]\n",
+                   "usage: %s [--quick] [--out FILE] [--max-allocs N] "
+                   "[--max-allocs-sat N]\n",
                    argv[0]);
       return 2;
     }
@@ -164,11 +203,31 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(worst.result.eventsExecuted),
       worst.bestWall, worst.mevPerS, worst.warmAllocs);
 
+  const auto sat = timeScenario(saturatedConfig(quick), repeats);
+  std::printf(
+      "sat      glr+ctl/poisson-%.0fmsg-s: %llu events, %zu offered, "
+      "%llu rejects, %llu evictions, %llu refusals, best %.3f s, "
+      "%.3f Mev/s, warm-run allocs %lld\n",
+      saturatedConfig(quick).traffic.rate,
+      static_cast<unsigned long long>(sat.result.eventsExecuted),
+      sat.result.created,
+      static_cast<unsigned long long>(sat.result.sendRejects),
+      static_cast<unsigned long long>(sat.result.bufferEvictions),
+      static_cast<unsigned long long>(sat.result.custodyRefusals),
+      sat.bestWall, sat.mevPerS, sat.warmAllocs);
+
   if (maxAllocs > 0 && golden.warmAllocs > maxAllocs) {
     std::fprintf(stderr,
                  "bench_hotpath: warm golden run allocated %lld times, "
                  "budget is %lld — hot-path allocation regression\n",
                  golden.warmAllocs, maxAllocs);
+    return 1;
+  }
+  if (maxAllocsSat > 0 && sat.warmAllocs > maxAllocsSat) {
+    std::fprintf(stderr,
+                 "bench_hotpath: warm saturated run allocated %lld times, "
+                 "budget is %lld — overload-path allocation regression\n",
+                 sat.warmAllocs, maxAllocsSat);
     return 1;
   }
 
@@ -192,9 +251,22 @@ int main(int argc, char** argv) {
                "  \"matrix_worst\": {\"cell\": "
                "\"Epidemic/manhattan/moderate\", \"events\": %llu, "
                "\"best_wall_seconds\": %.3f, \"mev_per_s\": %.3f, "
-               "\"warm_run_allocs\": %lld}\n",
+               "\"warm_run_allocs\": %lld},\n",
                static_cast<unsigned long long>(worst.result.eventsExecuted),
                worst.bestWall, worst.mevPerS, worst.warmAllocs);
+  std::fprintf(out,
+               "  \"saturated\": {\"cell\": \"GLR+ctl/poisson-%.0fmsg-s\", "
+               "\"events\": %llu, \"offered\": %zu, \"send_rejects\": %llu, "
+               "\"buffer_evictions\": %llu, \"custody_refusals\": %llu, "
+               "\"best_wall_seconds\": %.3f, \"mev_per_s\": %.3f, "
+               "\"warm_run_allocs\": %lld}\n",
+               saturatedConfig(quick).traffic.rate,
+               static_cast<unsigned long long>(sat.result.eventsExecuted),
+               sat.result.created,
+               static_cast<unsigned long long>(sat.result.sendRejects),
+               static_cast<unsigned long long>(sat.result.bufferEvictions),
+               static_cast<unsigned long long>(sat.result.custodyRefusals),
+               sat.bestWall, sat.mevPerS, sat.warmAllocs);
   std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("wrote %s\n", outPath.c_str());

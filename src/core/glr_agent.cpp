@@ -1,6 +1,7 @@
 #include "core/glr_agent.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/face.hpp"
 #include "core/trees.hpp"
@@ -306,22 +307,56 @@ void GlrAgent::checkRoutes() {
   }
 }
 
-void GlrAgent::sendCustodyAck(const dtn::CopyKey& key, int to, int attempt) {
+void GlrAgent::sendCustodyAck(const dtn::CopyKey& key, int to, int attempt,
+                              bool accepted) {
   net::Packet ack;
   ack.kind = kGlrAckKind;
   ack.bytes = params_->custodyAckBytes;
-  ack.payload = net::Payload::of(CustodyAck{key});
+  ack.payload = net::Payload::of(CustodyAck{key, accepted});
   if (world_.macOf(self_).send(std::move(ack), to)) {
-    ++counters_.custodyAcksSent;
+    if (accepted) ++counters_.custodyAcksSent;
     return;
   }
   // Interface queue full: a lost custody ack forks the copy at the sender,
   // so retry shortly rather than relying on the sender's cache timeout.
   if (attempt < params_->ackRetries) {
-    world_.sim().schedule(params_->ackRetryDelay, [this, key, to, attempt] {
-      sendCustodyAck(key, to, attempt + 1);
-    });
+    world_.sim().schedule(params_->ackRetryDelay,
+                          [this, key, to, attempt, accepted] {
+                            sendCustodyAck(key, to, attempt + 1, accepted);
+                          });
+  } else {
+    // Out of retries: the ack is abandoned (the sender's custody timer
+    // recovers the copy). Counted, never silent.
+    ++counters_.sendRejects;
   }
+}
+
+std::size_t GlrAgent::custodyWindowNow() const {
+  if (!params_->congestionControl) return params_->custodyWindow;
+  return static_cast<std::size_t>(cwnd_);
+}
+
+double GlrAgent::custodyTimeoutNow() const {
+  if (!params_->congestionControl || !haveRtt_) return params_->cacheTimeout;
+  const double rto = srtt_ + 4.0 * rttvar_;
+  return std::clamp(rto, 1.0, params_->cacheTimeout);
+}
+
+void GlrAgent::recordCustodyRtt(double sample) {
+  // RFC 6298 smoothing over custody-ack round trips.
+  if (!haveRtt_) {
+    srtt_ = sample;
+    rttvar_ = sample / 2.0;
+    haveRtt_ = true;
+  } else {
+    rttvar_ = 0.75 * rttvar_ + 0.25 * std::abs(srtt_ - sample);
+    srtt_ = 0.875 * srtt_ + 0.125 * sample;
+  }
+}
+
+void GlrAgent::onCongestionSignal() {
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+  cwnd_ = ssthresh_;
 }
 
 bool GlrAgent::sendCopy(const dtn::CopyKey& key, int nextHop) {
@@ -329,7 +364,7 @@ bool GlrAgent::sendCopy(const dtn::CopyKey& key, int nextHop) {
   if (m == nullptr) return false;
   // Custody flow control: bound the copies awaiting acknowledgement so the
   // interface queue cannot be flooded by one route check.
-  if (params_->custodyTransfer && buffer_.cacheSize() >= params_->custodyWindow) {
+  if (params_->custodyTransfer && buffer_.cacheSize() >= custodyWindowNow()) {
     return false;
   }
   dtn::Message outMsg = *m;
@@ -345,16 +380,20 @@ bool GlrAgent::sendCopy(const dtn::CopyKey& key, int nextHop) {
     // Interface queue full: the frame never went on air, so the copy simply
     // stays in the Store for a later check (no duplicate risk).
     ++counters_.txFailures;
+    ++counters_.sendRejects;
     return false;
   }
   if (params_->custodyTransfer) {
     const sim::SimTime sentAt = world_.sim().now();
     buffer_.moveToCache(key, nextHop, sentAt);
-    world_.sim().schedule(params_->cacheTimeout, [this, key, sentAt] {
+    world_.sim().schedule(custodyTimeoutNow(), [this, key, sentAt] {
       // Reschedule only if this exact custody round is still outstanding.
       if (buffer_.cacheEntrySentAt(key) == sentAt) {
         buffer_.returnToStore(key);
         ++counters_.cacheTimeouts;
+        // An unacknowledged custody transfer is the loss signal for the
+        // congestion window.
+        if (params_->congestionControl) onCongestionSignal();
       }
     });
   } else {
@@ -379,6 +418,19 @@ void GlrAgent::handleData(const net::Packet& packet, int fromMac) {
   dtn::Message m = *pm;
   m.hops += 1;
   ++counters_.dataReceived;
+
+  // Buffer-pressure custody refusal: at or above the watermark this node
+  // declines new custody (NACK — the sender keeps its copy and backs off)
+  // instead of accepting and evicting copies it already holds custody of.
+  // Final delivery and fork merges are always accepted: they free storage.
+  if (params_->custodyTransfer && params_->custodyWatermark > 0 &&
+      m.dstNode != self_ && !deliveredHere_.contains(m.id) &&
+      !buffer_.contains(m.key()) &&
+      buffer_.size() >= params_->custodyWatermark) {
+    ++counters_.custodyRefusalsSent;
+    sendCustodyAck(m.key(), fromMac, 0, /*accepted=*/false);
+    return;
+  }
 
   // Custody acknowledgement back to the sender — also for duplicates and
   // final delivery, so the sender clears its Cache either way.
@@ -422,8 +474,39 @@ void GlrAgent::handleData(const net::Packet& packet, int fromMac) {
 void GlrAgent::handleAck(const net::Packet& packet) {
   const auto* ack = packet.payload.get<CustodyAck>();
   if (ack == nullptr) return;
+  if (!ack->accepted) {
+    // Custody refused: reclaim the copy immediately (no need to wait for
+    // the cache timeout) and back it off exponentially so a saturated next
+    // hop is not hammered every check. A refusal is also a congestion
+    // signal for the AIMD window.
+    ++counters_.custodyRefusalsReceived;
+    if (buffer_.returnToStore(ack->key)) {
+      if (dtn::Message* m = buffer_.findInStore(ack->key)) {
+        m->waitChecks = m->retryBackoff;
+        m->retryBackoff = std::min(2 * m->retryBackoff, 8);
+      }
+    }
+    if (params_->congestionControl) onCongestionSignal();
+    return;
+  }
+  // RTT sample must be read before the cache entry is consumed.
+  std::optional<sim::SimTime> sentAt;
+  if (params_->congestionControl) {
+    sentAt = buffer_.cacheEntrySentAt(ack->key);
+  }
   if (buffer_.removeFromCache(ack->key).has_value()) {
     ++counters_.custodyAcksReceived;
+    if (params_->congestionControl) {
+      if (sentAt.has_value()) {
+        recordCustodyRtt(world_.sim().now() - *sentAt);
+      }
+      // Additive increase: slow start below ssthresh, then +1 per window.
+      if (cwnd_ < ssthresh_) {
+        cwnd_ += 1.0;
+      } else {
+        cwnd_ += 1.0 / cwnd_;
+      }
+    }
   }
 }
 

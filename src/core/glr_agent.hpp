@@ -45,6 +45,18 @@ struct GlrParams {
   double checkInterval = 0.9;  // paper's default route check interval
   double cacheTimeout = 10.0;  // custody wait before transfer rescheduling
   std::size_t custodyWindow = 16;  // max copies awaiting custody acks
+  /// Buffer-pressure custody refusal: an incoming custody transfer is
+  /// refused (NACK, retry-later) when this node's occupancy has reached the
+  /// watermark, pushing queueing back to the sender instead of evicting
+  /// held custody copies. 0 (default) never refuses — the historical
+  /// behavior every golden was recorded under. Final delivery and
+  /// duplicate merges are always accepted.
+  std::size_t custodyWatermark = 0;
+  /// Windowed congestion control on custody transfer: replaces the fixed
+  /// custodyWindow with an AIMD window driven by a custody-ack RTT
+  /// estimator (additive increase per acknowledged transfer, halving on
+  /// timeout/refusal — the ndn-dpdk fetcher shape). Off by default.
+  bool congestionControl = false;
   int maxSendsPerCheck = 8;        // per-node data-send budget per check
   double ackRetryDelay = 0.25;     // re-enqueue delay for queue-full acks
   int ackRetries = 3;
@@ -93,12 +105,18 @@ struct GlrCounters {
   std::uint64_t faceTransitions = 0;
   std::uint64_t perturbations = 0;
   std::uint64_t deliveredHere = 0;
+  std::uint64_t custodyRefusalsSent = 0;      // NACKs sent under watermark
+  std::uint64_t custodyRefusalsReceived = 0;  // NACKs received (backed off)
+  std::uint64_t sendRejects = 0;  // data/ack sends the MAC finally refused
 };
 
 /// Custody acknowledgement payload (paper: contains source, destination,
-/// message count and tree branch — exactly a CopyKey).
+/// message count and tree branch — exactly a CopyKey). `accepted == false`
+/// turns it into a refusal (NACK): the receiver is above its buffer
+/// watermark and the sender must keep custody and retry later.
 struct CustodyAck {
   dtn::CopyKey key;
+  bool accepted = true;
 };
 
 /// Packet kind tags.
@@ -144,6 +162,9 @@ class GlrAgent final : public routing::DtnAgent {
     out.cacheTimeouts += counters_.cacheTimeouts;
     out.txFailures += counters_.txFailures;
     out.faceTransitions += counters_.faceTransitions;
+    out.sendRejects += counters_.sendRejects + neighbors_.helloSendFailures();
+    out.bufferEvictions += buffer_.dropCount();
+    out.custodyRefusals += counters_.custodyRefusalsSent;
   }
 
   [[nodiscard]] const GlrCounters& counters() const { return counters_; }
@@ -160,7 +181,18 @@ class GlrAgent final : public routing::DtnAgent {
  private:
   void periodicCheck();
   void checkRoutes();
-  void sendCustodyAck(const dtn::CopyKey& key, int to, int attempt);
+  void sendCustodyAck(const dtn::CopyKey& key, int to, int attempt,
+                      bool accepted = true);
+  /// Effective custody window: fixed custodyWindow, or the AIMD cwnd when
+  /// congestion control is on.
+  [[nodiscard]] std::size_t custodyWindowNow() const;
+  /// Custody retransmit timer: the fixed cacheTimeout, or an RFC-6298-style
+  /// RTO from the custody-ack RTT estimator (clamped to [1 s, cacheTimeout])
+  /// when congestion control is on.
+  [[nodiscard]] double custodyTimeoutNow() const;
+  void recordCustodyRtt(double sample);
+  /// AIMD loss reaction: halve the window (custody timeout or refusal).
+  void onCongestionSignal();
   /// Queues one copy to the MAC; returns true if it actually went out.
   bool sendCopy(const dtn::CopyKey& key, int nextHop);
   /// Resolves the destination position for a stored message, applying
@@ -189,6 +221,15 @@ class GlrAgent final : public routing::DtnAgent {
   GlrCounters counters_;
   int nextSeq_ = 0;
   bool checkQueued_ = false;  // suppress redundant contact-triggered checks
+
+  // AIMD congestion state (active only with params_->congestionControl):
+  // slow start from a small window up to ssthresh_, then +1/cwnd per
+  // acknowledged custody transfer; halved on timeout or refusal.
+  double cwnd_ = 4.0;
+  double ssthresh_ = 64.0;
+  double srtt_ = 0.0;
+  double rttvar_ = 0.0;
+  bool haveRtt_ = false;
 };
 
 }  // namespace glr::core

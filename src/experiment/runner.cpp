@@ -140,9 +140,9 @@ void ThreadPool::parallelFor(std::size_t n,
 
 // The comparator below must enumerate every ScenarioResult field except
 // wallSeconds; a field it misses silently escapes the determinism
-// contract. The struct is 25 tightly-packed 8-byte scalars — adding one
+// contract. The struct is 31 tightly-packed 8-byte scalars — adding one
 // trips this assert, which is your cue to extend the comparator.
-static_assert(sizeof(ScenarioResult) == 25 * sizeof(std::uint64_t),
+static_assert(sizeof(ScenarioResult) == 31 * sizeof(std::uint64_t),
               "ScenarioResult changed: update bitIdenticalIgnoringWall");
 
 bool bitIdenticalIgnoringWall(const ScenarioResult& a,
@@ -154,8 +154,11 @@ bool bitIdenticalIgnoringWall(const ScenarioResult& a,
          a.macQueueDrops == b.macQueueDrops &&
          a.macRetryDrops == b.macRetryDrops &&
          a.macRadioDownDrops == b.macRadioDownDrops &&
+         a.macAckTimeouts == b.macAckTimeouts &&
+         a.macBusyDeferrals == b.macBusyDeferrals &&
          a.collisions == b.collisions &&
          a.airTimeSeconds == b.airTimeSeconds &&
+         a.faultFrameDrops == b.faultFrameDrops &&
          a.duplicateDeliveries == b.duplicateDeliveries &&
          a.perturbations == b.perturbations && a.glrDataSent == b.glrDataSent &&
          a.glrDataReceived == b.glrDataReceived &&
@@ -165,6 +168,9 @@ bool bitIdenticalIgnoringWall(const ScenarioResult& a,
          a.glrCacheTimeouts == b.glrCacheTimeouts &&
          a.glrTxFailures == b.glrTxFailures &&
          a.glrFaceTransitions == b.glrFaceTransitions &&
+         a.sendRejects == b.sendRejects &&
+         a.bufferEvictions == b.bufferEvictions &&
+         a.custodyRefusals == b.custodyRefusals &&
          a.eventsExecuted == b.eventsExecuted;
 }
 

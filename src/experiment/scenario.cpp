@@ -9,9 +9,11 @@
 
 #include "dtn/metrics.hpp"
 #include "experiment/runner.hpp"
+#include "experiment/traffic.hpp"
 #include "mobility/mobility.hpp"
 #include "mobility/registry.hpp"
 #include "net/churn.hpp"
+#include "net/faults.hpp"
 #include "net/world.hpp"
 #include "phy/propagation.hpp"
 #include "routing/direct.hpp"
@@ -53,6 +55,8 @@ enum Stream : std::uint64_t {
   kClusters = 6,      // cluster-mobility home points
   kChurn = 7,         // duty-cycle toggles (per-node forks inside)
   kRadio = 8,         // heterogeneous per-node ranges
+  kTrafficModel = 9,  // stochastic traffic models (per-source forks inside)
+  kFaults = 10,       // fault injection (loss/burst/stall forks inside)
 };
 
 std::unique_ptr<routing::DtnAgent> makeAgent(
@@ -112,6 +116,8 @@ std::unique_ptr<routing::DtnAgent> makeAgent(
         p.locationMode = cfg.locationMode;
         p.storageLimit = cfg.storageLimit;
         p.locationEvictAfter = cfg.locationEvictAfter;
+        p.custodyWatermark = cfg.custodyWatermark;
+        p.congestionControl = cfg.congestionControl;
         hello.includeNeighborList = true;  // 2-hop knowledge for the LDTG
         p.hello = hello;
         glrShared = std::make_shared<const core::GlrParams>(std::move(p));
@@ -287,49 +293,33 @@ ScenarioResult runScenario(const ScenarioConfig& cfg) {
     churn->start();
   }
 
-  // Workload: ordered (src, dst) pairs among the traffic subset, shuffled;
-  // one message per interval (paper: every second), wrapping if more
-  // messages than pairs are requested.
-  //
-  // The enumerate-then-shuffle materialisation is O(T^2) in the traffic
-  // population — fine at paper scale (and what every pinned golden was
-  // recorded with: the draw sequence must stay exactly this below the gate),
-  // hopeless at city scale (100k traffic nodes = 10^10 pairs). Past the
-  // gate, draw each (src, dst) directly: uniform src, uniform dst != src —
-  // the same distribution the shuffled enumeration samples when messages
-  // are few relative to pairs, without materialising anything.
-  constexpr std::uint64_t kPairEnumerationCap = 1u << 20;
-  sim::Rng trafficRng = master.fork(kTraffic);
-  const auto traffic = static_cast<std::uint64_t>(cfg.trafficNodes);
-  const auto scheduleMessage = [&](int k, int src, int dst) {
-    simulator.schedule(cfg.trafficStart + k * cfg.messageInterval,
-                       [agent = agents[static_cast<std::size_t>(src)], dst] {
-                         agent->originate(dst);
-                       });
-  };
-  if (traffic * (traffic - 1) <= kPairEnumerationCap) {
-    std::vector<std::pair<int, int>> pairs;
-    pairs.reserve(traffic * (traffic - 1));
-    for (int i = 0; i < cfg.trafficNodes; ++i) {
-      for (int j = 0; j < cfg.trafficNodes; ++j) {
-        if (i != j) pairs.emplace_back(i, j);
-      }
-    }
-    for (std::size_t i = pairs.size(); i > 1; --i) {
-      std::swap(pairs[i - 1], pairs[trafficRng.below(i)]);
-    }
-    for (int k = 0; k < cfg.numMessages; ++k) {
-      const auto [src, dst] =
-          pairs[static_cast<std::size_t>(k) % pairs.size()];
-      scheduleMessage(k, src, dst);
-    }
+  // Fault injection: like churn, the process object owns simulator events
+  // (and the channel delivery filter) and must live until the run completes.
+  std::unique_ptr<net::FaultProcess> faults;
+  if (cfg.faults.enabled) {
+    faults = std::make_unique<net::FaultProcess>(world, cfg.faults.params,
+                                                 master.fork(kFaults));
+    faults->start();
+  }
+
+  // Workload. The paper's fixed schedule draws from the historical kTraffic
+  // stream (the draw sequence is pinned by every golden); the stochastic
+  // models are generator processes on their own stream, so switching models
+  // perturbs nothing else.
+  std::unique_ptr<TrafficProcess> trafficProcess;
+  if (cfg.traffic.model == "paper") {
+    schedulePaperWorkload(simulator, agents, cfg.trafficNodes,
+                          cfg.numMessages, cfg.trafficStart,
+                          cfg.messageInterval, master.fork(kTraffic));
   } else {
-    for (int k = 0; k < cfg.numMessages; ++k) {
-      const auto src = static_cast<int>(trafficRng.below(traffic));
-      auto dst = static_cast<int>(trafficRng.below(traffic - 1));
-      if (dst >= src) ++dst;
-      scheduleMessage(k, src, dst);
-    }
+    TrafficProcess::Params tp;
+    tp.spec = cfg.traffic;
+    tp.start = cfg.trafficStart;
+    tp.horizon = cfg.simTime;
+    tp.trafficNodes = cfg.trafficNodes;
+    trafficProcess = std::make_unique<TrafficProcess>(
+        simulator, agents, std::move(tp), master.fork(kTrafficModel));
+    trafficProcess->start();
   }
 
   world.start();
@@ -358,6 +348,9 @@ ScenarioResult runScenario(const ScenarioConfig& cfg) {
   r.glrCacheTimeouts = proto.cacheTimeouts;
   r.glrTxFailures = proto.txFailures;
   r.glrFaceTransitions = proto.faceTransitions;
+  r.sendRejects = proto.sendRejects;
+  r.bufferEvictions = proto.bufferEvictions;
+  r.custodyRefusals = proto.custodyRefusals;
   r.maxPeakStorage = peaks.max();
   r.avgPeakStorage = peaks.mean();
 
@@ -367,9 +360,12 @@ ScenarioResult runScenario(const ScenarioConfig& cfg) {
     r.macQueueDrops += ms.queueDrops;
     r.macRetryDrops += ms.retryDrops;
     r.macRadioDownDrops += ms.radioDownDrops;
+    r.macAckTimeouts += ms.ackTimeouts;
+    r.macBusyDeferrals += ms.busyDeferrals;
   }
   r.collisions = world.channel().stats().collisions;
   r.airTimeSeconds = world.channel().stats().airTimeSeconds;
+  r.faultFrameDrops = world.channel().stats().faultDrops;
   r.eventsExecuted = simulator.eventsExecuted();
   r.wallSeconds = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - wallStart)

@@ -16,8 +16,10 @@
 
 #include "core/glr_agent.hpp"
 #include "dtn/buffer.hpp"
+#include "experiment/traffic.hpp"
 #include "mobility/registry.hpp"
 #include "net/churn.hpp"
+#include "net/faults.hpp"
 
 namespace glr::experiment {
 
@@ -59,6 +61,15 @@ struct ChurnSpec {
 /// "heavy". Throws std::invalid_argument for anything else.
 [[nodiscard]] ChurnSpec churnPreset(const std::string& name);
 
+/// Fault injection: the embedded net::FaultProcess::Params go to the fault
+/// layer verbatim (burst loss, frame corruption, stuck-node stalls — see
+/// net/faults.hpp). Disabled by default — the default scenario stays
+/// bit-identical to the paper setup.
+struct FaultSpec {
+  bool enabled = false;
+  net::FaultProcess::Params params;
+};
+
 /// Which structure orders the kernel's pending-event set. Both modes fire
 /// the identical event sequence (same (time, seq) tie-break — pinned by the
 /// KernelRegression golden under each); the calendar queue keeps per-event
@@ -96,12 +107,20 @@ struct ScenarioConfig {
   double radiusSpreadMin = 1.0;
   double radiusSpreadMax = 1.0;
 
-  // Workload.
+  // Workload. `traffic` selects the arrival process: the default "paper"
+  // model replays the fixed shuffled-pair schedule below bit-identically;
+  // the stochastic models (poisson/onoff/hotspot/flashcrowd) read
+  // traffic.rate and their own knobs instead of numMessages /
+  // messageInterval and can offer millions of messages per run.
   double simTime = 3800.0;
   int numMessages = 1980;
   double messageInterval = 1.0;  // "packets are generated every second"
   double trafficStart = 10.0;    // let neighbor tables converge first
   int trafficNodes = 45;         // paper: 45 senders/destinations out of 50
+  TrafficSpec traffic;
+
+  // Fault injection (off by default).
+  FaultSpec faults;
 
   // Protocol knobs.
   std::size_t storageLimit = dtn::kUnlimitedStorage;
@@ -114,6 +133,11 @@ struct ScenarioConfig {
   double helloInterval = 0.75;
   double cacheTimeout = 6.0;
   int sprayBudget = 8;  // kSprayAndWait only
+  /// GLR overload controls (see GlrParams): buffer occupancy at which a
+  /// node refuses new custody (0 = never, the historical default), and the
+  /// AIMD custody window driven by the custody-ack RTT estimator.
+  std::size_t custodyWatermark = 0;
+  bool congestionControl = false;
 
   // Scaling-path knobs (city-scale worlds). Defaults keep every pinned
   // golden bit-identical; bench_scale and the scale tests flip them.
@@ -148,8 +172,11 @@ struct ScenarioResult {
   std::uint64_t macQueueDrops = 0;
   std::uint64_t macRetryDrops = 0;
   std::uint64_t macRadioDownDrops = 0;  // churn: sends lost to a down radio
+  std::uint64_t macAckTimeouts = 0;     // ACK waits that expired
+  std::uint64_t macBusyDeferrals = 0;   // attempts deferred on busy medium
   std::uint64_t collisions = 0;
   double airTimeSeconds = 0.0;
+  std::uint64_t faultFrameDrops = 0;  // deliveries suppressed by faults
   std::uint64_t duplicateDeliveries = 0;
   std::uint64_t perturbations = 0;
 
@@ -164,6 +191,14 @@ struct ScenarioResult {
   std::uint64_t glrCacheTimeouts = 0;
   std::uint64_t glrTxFailures = 0;
   std::uint64_t glrFaceTransitions = 0;
+
+  // Overload accounting, reported by every protocol: sends the MAC queue
+  // finally refused, storage-pressure buffer evictions, and custody
+  // transfers refused under the watermark (GLR only). All zero in an
+  // unsaturated run.
+  std::uint64_t sendRejects = 0;
+  std::uint64_t bufferEvictions = 0;
+  std::uint64_t custodyRefusals = 0;
 
   // Run health.
   std::uint64_t eventsExecuted = 0;

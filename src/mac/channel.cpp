@@ -414,6 +414,10 @@ void Channel::finishTransmission(std::uint64_t txId) {
           ++stats_.collisions;
           continue;
         }
+        if (deliveryFilter_ && !deliveryFilter_(frame, v)) {
+          ++stats_.faultDrops;
+          continue;
+        }
         ++stats_.framesDelivered;
         mac->onFrameReceived(frame);
       }

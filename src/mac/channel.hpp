@@ -45,6 +45,7 @@ struct ChannelStats {
   std::uint64_t framesDelivered = 0;
   std::uint64_t collisions = 0;        // receptions lost to interference
   std::uint64_t rxWhileTx = 0;         // receptions lost: receiver was busy
+  std::uint64_t faultDrops = 0;        // receptions vetoed by fault injection
   double airTimeSeconds = 0.0;
 };
 
@@ -68,6 +69,16 @@ class Channel {
   /// Optional batch position source (see PositionBatchFn). When unset, the
   /// per-node PositionFn is used for gathers too.
   void setPositionBatchFn(PositionBatchFn fn) { positionBatch_ = std::move(fn); }
+
+  /// Per-receiver delivery veto, for fault injection (net/faults.hpp): a
+  /// frame that passed range/busy/collision checks is handed to the filter
+  /// last; returning false drops it (counted in ChannelStats::faultDrops).
+  /// The frame stays on air for carrier-sense and interference either way.
+  /// Unset (the default) costs nothing and keeps every golden bit-identical.
+  using DeliveryFilter = std::function<bool(const Frame& frame, int receiver)>;
+  void setDeliveryFilter(DeliveryFilter filter) {
+    deliveryFilter_ = std::move(filter);
+  }
 
   /// How the receiver index keeps node positions fresh.
   ///
@@ -183,6 +194,7 @@ class Channel {
   double txPowerW_;
   PositionFn positionOf_;
   PositionBatchFn positionBatch_;
+  DeliveryFilter deliveryFilter_;
   std::vector<Mac*> macs_;
 
   // Active + recently ended transmissions, start-sorted, pruned lazily from

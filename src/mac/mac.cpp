@@ -62,6 +62,7 @@ void Mac::attempt() {
   if (channel_.mediumBusy(self_)) {
     // Defer until the heard transmissions end, plus sub-slot jitter so
     // synchronized waiters don't re-collide deterministically.
+    ++stats_.busyDeferrals;
     const sim::SimTime idleAt =
         std::max(channel_.nextIdleHint(self_), sim_.now());
     attemptHandle_ = sim_.scheduleAt(
@@ -134,6 +135,7 @@ void Mac::onDataTxEnd(bool expectAck, std::uint64_t epoch) {
 void Mac::onAckTimeout() {
   awaitingAck_ = false;
   if (queue_.empty()) return;  // defensive: down-flush cancels this timer
+  ++stats_.ackTimeouts;
   Outgoing& out = queue_.front();
   ++out.attempts;
   if (out.attempts > params_.retryLimit) {

@@ -47,6 +47,8 @@ struct MacStats {
   std::uint64_t ackTx = 0;
   std::uint64_t retries = 0;
   std::uint64_t retryDrops = 0;       // unicast given up after retryLimit
+  std::uint64_t ackTimeouts = 0;      // ACK waits that expired (per attempt)
+  std::uint64_t busyDeferrals = 0;    // attempts deferred: medium sensed busy
   std::uint64_t rxData = 0;
   std::uint64_t rxAck = 0;
   std::uint64_t duplicatesSuppressed = 0;

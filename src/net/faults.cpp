@@ -1,0 +1,98 @@
+#include "net/faults.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "mac/channel.hpp"
+
+namespace glr::net {
+
+FaultProcess::FaultProcess(World& world, Params params, sim::Rng rng)
+    : world_(world),
+      params_(params),
+      lossRng_(rng.fork(1)),
+      burstRng_(rng.fork(2)),
+      stallRng_(rng.fork(3)) {
+  if (params.start < 0.0) {
+    throw std::invalid_argument{"FaultProcess: negative start"};
+  }
+  if (params.burstRate < 0.0 || params.stallRate < 0.0) {
+    throw std::invalid_argument{"FaultProcess: negative rate"};
+  }
+  if (params.burstRate > 0.0 && !(params.burstMean > 0.0)) {
+    throw std::invalid_argument{"FaultProcess: burstMean must be > 0"};
+  }
+  if (params.stallRate > 0.0 && !(params.stallMean > 0.0)) {
+    throw std::invalid_argument{"FaultProcess: stallMean must be > 0"};
+  }
+  if (params.lossProb < 0.0 || params.lossProb > 1.0 ||
+      params.corruptProb < 0.0 || params.corruptProb > 1.0) {
+    throw std::invalid_argument{"FaultProcess: probabilities must be in [0,1]"};
+  }
+  if (world.numNodes() == 0) {
+    throw std::invalid_argument{"FaultProcess: empty world"};
+  }
+  stalled_.assign(world.numNodes(), 0);
+}
+
+void FaultProcess::start() {
+  if (params_.burstRate > 0.0 || params_.corruptProb > 0.0) {
+    world_.channel().setDeliveryFilter(
+        [this](const mac::Frame& frame, int receiver) {
+          return deliver(frame, receiver);
+        });
+  }
+  if (params_.burstRate > 0.0) scheduleBurst();
+  if (params_.stallRate > 0.0) scheduleStall();
+}
+
+bool FaultProcess::deliver(const mac::Frame& /*frame*/, int /*receiver*/) {
+  if (burstsActive_ > 0 && params_.lossProb > 0.0 &&
+      lossRng_.bernoulli(params_.lossProb)) {
+    ++counters_.framesLost;
+    return false;
+  }
+  if (params_.corruptProb > 0.0 && lossRng_.bernoulli(params_.corruptProb)) {
+    ++counters_.framesCorrupted;
+    return false;
+  }
+  return true;
+}
+
+void FaultProcess::scheduleBurst() {
+  sim::Simulator& sim = world_.sim();
+  const sim::SimTime at = std::max(params_.start, sim.now()) +
+                          burstRng_.exponential(1.0 / params_.burstRate);
+  sim.scheduleAt(at, [this] {
+    ++counters_.burstsStarted;
+    ++burstsActive_;  // bursts can overlap; loss applies while any is open
+    const double duration = burstRng_.exponential(params_.burstMean);
+    world_.sim().schedule(duration, [this] { --burstsActive_; });
+    scheduleBurst();
+  });
+}
+
+void FaultProcess::scheduleStall() {
+  sim::Simulator& sim = world_.sim();
+  const sim::SimTime at = std::max(params_.start, sim.now()) +
+                          stallRng_.exponential(1.0 / params_.stallRate);
+  sim.scheduleAt(at, [this] {
+    // Draw victim and duration unconditionally (the draw sequence must not
+    // depend on which nodes happen to be stalled); skip only the toggle.
+    const auto victim =
+        static_cast<int>(stallRng_.below(world_.numNodes()));
+    const double duration = stallRng_.exponential(params_.stallMean);
+    if (!stalled_[static_cast<std::size_t>(victim)]) {
+      stalled_[static_cast<std::size_t>(victim)] = 1;
+      ++counters_.stallsStarted;
+      world_.setRadioUp(victim, false);
+      world_.sim().schedule(duration, [this, victim] {
+        stalled_[static_cast<std::size_t>(victim)] = 0;
+        world_.setRadioUp(victim, true);
+      });
+    }
+    scheduleStall();
+  });
+}
+
+}  // namespace glr::net

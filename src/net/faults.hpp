@@ -1,0 +1,97 @@
+#pragma once
+/// \file faults.hpp
+/// Seeded fault injection: link-loss bursts, frame corruption, stuck nodes.
+///
+/// Three orthogonal mechanisms, each driven by its own fork of one
+/// dedicated RNG stream so enabling a fault never perturbs any other
+/// subsystem's draws (and runs stay bit-identical across sweep threads):
+///
+///  * **Link-loss bursts** — burst windows arrive as a Poisson process with
+///    exponential durations; while at least one window is open, every frame
+///    delivery independently fails with `lossProb`. Models interference
+///    episodes that blanket the medium.
+///  * **Frame corruption** — always-on per-delivery corruption with
+///    `corruptProb` (a corrupted frame fails its checksum and is discarded
+///    by the receiver, indistinguishable from loss at this abstraction).
+///  * **Stuck-node stalls** — stall events arrive as a Poisson process; each
+///    picks a uniform victim and forces its radio down (World::setRadioUp,
+///    the same well-tested gate churn uses: queue flushed, unicasts fail,
+///    receptions stop) for an exponential duration. Models firmware hangs
+///    and crash-recovery cycles. Composes with ChurnProcess: both drive the
+///    same idempotent gate, so overlapping toggles are safe, though a node
+///    both churned-down and stalled comes back up when either process says
+///    so.
+///
+/// Loss and corruption hook the channel's per-receiver delivery filter
+/// (mac::Channel::setDeliveryFilter): the frame stays on air — it still
+/// occupies the medium and interferes — only its delivery to a specific
+/// receiver is suppressed, counted in ChannelStats::faultDrops.
+
+#include <cstdint>
+#include <vector>
+
+#include "mac/frame.hpp"
+#include "net/world.hpp"
+#include "sim/rng.hpp"
+
+namespace glr::net {
+
+class FaultProcess {
+ public:
+  struct Params {
+    double start = 0.0;  // no fault before this time
+
+    // Link-loss bursts (0 burstRate disables).
+    double burstRate = 0.0;  // bursts per second (Poisson arrivals)
+    double burstMean = 2.0;  // mean burst duration, seconds (exponential)
+    double lossProb = 0.5;   // per-frame-per-receiver drop prob in a burst
+
+    // Frame corruption (0 disables).
+    double corruptProb = 0.0;  // per-frame-per-receiver corruption prob
+
+    // Stuck-node stalls (0 stallRate disables).
+    double stallRate = 0.0;  // stalls per second (Poisson arrivals)
+    double stallMean = 5.0;  // mean stall duration, seconds (exponential)
+  };
+
+  struct Counters {
+    std::uint64_t burstsStarted = 0;
+    std::uint64_t framesLost = 0;       // burst-loss delivery drops
+    std::uint64_t framesCorrupted = 0;  // corruption delivery drops
+    std::uint64_t stallsStarted = 0;
+  };
+
+  /// Validates params (throws std::invalid_argument on out-of-range
+  /// values). Must outlive the run: scheduled fault events and the
+  /// installed delivery filter close over this object.
+  FaultProcess(World& world, Params params, sim::Rng rng);
+
+  FaultProcess(const FaultProcess&) = delete;
+  FaultProcess& operator=(const FaultProcess&) = delete;
+
+  /// Installs the delivery filter (only when loss/corruption is active) and
+  /// schedules the first burst/stall arrivals.
+  void start();
+
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+  [[nodiscard]] bool burstActive() const { return burstsActive_ > 0; }
+
+ private:
+  /// Channel delivery filter: true = deliver. Draws in a fixed order
+  /// (burst loss, then corruption) from the loss stream; the channel's
+  /// delivery loop is deterministic, so the draw sequence is too.
+  bool deliver(const mac::Frame& frame, int receiver);
+  void scheduleBurst();
+  void scheduleStall();
+
+  World& world_;
+  Params params_;
+  sim::Rng lossRng_;   // per-delivery loss/corruption draws
+  sim::Rng burstRng_;  // burst arrival/duration draws
+  sim::Rng stallRng_;  // stall arrival/victim/duration draws
+  int burstsActive_ = 0;
+  std::vector<char> stalled_;  // our own stalls (avoid double-stall races)
+  Counters counters_;
+};
+
+}  // namespace glr::net

@@ -79,7 +79,7 @@ void NeighborService::sendHello() {
   p.bytes = bytes;
   p.kind = kHelloKind;
   p.payload = std::move(payload);
-  mac_.send(std::move(p), kBroadcast);
+  if (!mac_.send(std::move(p), kBroadcast)) ++helloSendFailures_;
   ++hellosSent_;
 
   // Jittered periodic re-beacon (+/-10%) to avoid phase locking.

@@ -108,6 +108,12 @@ class NeighborService {
 
   [[nodiscard]] std::uint64_t hellosSent() const { return hellosSent_; }
   [[nodiscard]] std::uint64_t hellosReceived() const { return hellosReceived_; }
+  /// Beacons the MAC refused (queue full / radio down). A dropped hello
+  /// only delays neighbor discovery by one interval, but under saturation
+  /// these must be visible, not silent.
+  [[nodiscard]] std::uint64_t helloSendFailures() const {
+    return helloSendFailures_;
+  }
 
  private:
   struct NeighborRecord {
@@ -131,6 +137,7 @@ class NeighborService {
   LocationSampleCallback onLocationSample_;
   std::uint64_t hellosSent_ = 0;
   std::uint64_t hellosReceived_ = 0;
+  std::uint64_t helloSendFailures_ = 0;
 };
 
 }  // namespace glr::net

@@ -42,8 +42,15 @@ void DirectDeliveryAgent::check() {
     p.bytes = m->payloadBytes + params_.dataHeaderBytes;
     p.payload = net::Payload::of(*m);
     const int dst = m->dstNode;
-    buffer_.erase(key);
-    world_.macOf(self_).send(std::move(p), dst);
+    // Drop the copy only once the MAC accepted the frame: a refused send
+    // (queue full / radio down) keeps it stored for the next check instead
+    // of silently losing the sole copy.
+    if (world_.macOf(self_).send(std::move(p), dst)) {
+      buffer_.erase(key);
+      ++dataSent_;
+    } else {
+      ++sendRejects_;
+    }
   }
   world_.sim().schedule(params_.checkInterval, [this] { check(); });
 }

@@ -48,6 +48,12 @@ class DirectDeliveryAgent final : public DtnAgent {
     return buffer_.peakSize();
   }
 
+  void harvestCounters(ProtocolCounters& out) const override {
+    out.dataSent += dataSent_;
+    out.sendRejects += sendRejects_ + neighbors_.helloSendFailures();
+    out.bufferEvictions += buffer_.dropCount();
+  }
+
  private:
   void check();
   [[nodiscard]] geom::Point2 myPos() { return world_.positionOf(self_); }
@@ -60,6 +66,8 @@ class DirectDeliveryAgent final : public DtnAgent {
   net::NeighborService neighbors_;
   dtn::MessageBuffer buffer_;
   std::unordered_set<dtn::MessageId> deliveredHere_;
+  std::uint64_t dataSent_ = 0;
+  std::uint64_t sendRejects_ = 0;
   int nextSeq_ = 0;
 };
 

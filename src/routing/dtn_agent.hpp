@@ -23,6 +23,11 @@ struct ProtocolCounters {
   std::uint64_t cacheTimeouts = 0;
   std::uint64_t txFailures = 0;
   std::uint64_t faceTransitions = 0;
+  // Overload-survival counters, common to every protocol: no buffer-full or
+  // queue-full path may drop silently.
+  std::uint64_t sendRejects = 0;      // sends refused by the MAC queue
+  std::uint64_t bufferEvictions = 0;  // storage-pressure evictions
+  std::uint64_t custodyRefusals = 0;  // custody NACKs sent under watermark
 };
 
 class DtnAgent : public net::Agent {

@@ -62,7 +62,7 @@ void EpidemicAgent::sendSummary(int to, bool full) {
   p.kind = kEpSvKind;
   p.bytes = params_.svHeaderBytes + params_.svEntryBytes * sv.ids.size();
   p.payload = std::move(payload);
-  world_.macOf(self_).send(std::move(p), to);
+  if (!world_.macOf(self_).send(std::move(p), to)) ++counters_.sendRejects;
   ++counters_.summariesSent;
 }
 
@@ -112,7 +112,9 @@ void EpidemicAgent::onPacket(const net::Packet& packet, int fromMac) {
     p.kind = kEpReqKind;
     p.bytes = params_.svHeaderBytes + params_.svEntryBytes * req.ids.size();
     p.payload = std::move(payload);
-    world_.macOf(self_).send(std::move(p), fromMac);
+    if (!world_.macOf(self_).send(std::move(p), fromMac)) {
+      ++counters_.sendRejects;
+    }
     ++counters_.requestsSent;
     return;
   }
@@ -127,7 +129,9 @@ void EpidemicAgent::onPacket(const net::Packet& packet, int fromMac) {
       p.kind = kEpDataKind;
       p.bytes = m->payloadBytes + params_.dataHeaderBytes;
       p.payload = net::Payload::of(*m);
-      world_.macOf(self_).send(std::move(p), fromMac);
+      if (!world_.macOf(self_).send(std::move(p), fromMac)) {
+        ++counters_.sendRejects;
+      }
       ++counters_.dataSent;
     }
     return;

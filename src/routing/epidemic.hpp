@@ -54,6 +54,7 @@ struct EpidemicCounters {
   std::uint64_t dataReceived = 0;
   std::uint64_t duplicatesDropped = 0;
   std::uint64_t deliveredHere = 0;
+  std::uint64_t sendRejects = 0;  // SV/request/data sends the MAC refused
 };
 
 /// Summary vector / request payloads.
@@ -91,6 +92,8 @@ class EpidemicAgent final : public DtnAgent {
     out.dataSent += counters_.dataSent;
     out.dataReceived += counters_.dataReceived;
     out.duplicatesDropped += counters_.duplicatesDropped;
+    out.sendRejects += counters_.sendRejects + neighbors_.helloSendFailures();
+    out.bufferEvictions += buffer_.dropCount();
   }
 
   [[nodiscard]] const EpidemicCounters& counters() const { return counters_; }

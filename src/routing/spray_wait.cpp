@@ -51,7 +51,7 @@ void SprayWaitAgent::onContact(int id) {
   p.kind = kSwSvKind;
   p.bytes = params_.svHeaderBytes + params_.svEntryBytes * sv.ids.size();
   p.payload = std::move(payload);
-  world_.macOf(self_).send(std::move(p), id);
+  if (!world_.macOf(self_).send(std::move(p), id)) ++sendRejects_;
 }
 
 void SprayWaitAgent::onPacket(const net::Packet& packet, int fromMac) {
@@ -73,7 +73,7 @@ void SprayWaitAgent::onPacket(const net::Packet& packet, int fromMac) {
     p.kind = kSwReqKind;
     p.bytes = params_.svHeaderBytes + params_.svEntryBytes * req.ids.size();
     p.payload = std::move(payload);
-    world_.macOf(self_).send(std::move(p), fromMac);
+    if (!world_.macOf(self_).send(std::move(p), fromMac)) ++sendRejects_;
     return;
   }
 
@@ -93,7 +93,11 @@ void SprayWaitAgent::onPacket(const net::Packet& packet, int fromMac) {
       p.kind = kSwDataKind;
       p.bytes = m->payloadBytes + params_.dataHeaderBytes;
       p.payload = net::Payload::of(out);
-      world_.macOf(self_).send(std::move(p), fromMac);
+      if (world_.macOf(self_).send(std::move(p), fromMac)) {
+        ++dataSent_;
+      } else {
+        ++sendRejects_;
+      }
       if (toDestination) {
         buffer_.erase({id, dtn::TreeFlag::kNone});
         budget_.erase(id);
@@ -109,6 +113,7 @@ void SprayWaitAgent::onPacket(const net::Packet& packet, int fromMac) {
     if (sd == nullptr) return;
     dtn::Message m = sd->message;
     m.hops += 1;
+    ++dataReceived_;
     if (m.dstNode == self_) {
       if (deliveredHere_.insert(m.id).second && metrics_ != nullptr) {
         metrics_->onDelivered(m.id, world_.sim().now(), m.hops);

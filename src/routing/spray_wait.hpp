@@ -60,6 +60,13 @@ class SprayWaitAgent final : public DtnAgent {
     return buffer_.peakSize();
   }
 
+  void harvestCounters(ProtocolCounters& out) const override {
+    out.dataSent += dataSent_;
+    out.dataReceived += dataReceived_;
+    out.sendRejects += sendRejects_ + neighbors_.helloSendFailures();
+    out.bufferEvictions += buffer_.dropCount();
+  }
+
  private:
   void onContact(int id);
   [[nodiscard]] geom::Point2 myPos() { return world_.positionOf(self_); }
@@ -73,6 +80,9 @@ class SprayWaitAgent final : public DtnAgent {
   dtn::MessageBuffer buffer_;
   std::unordered_map<dtn::MessageId, int> budget_;  // copies left here
   std::unordered_set<dtn::MessageId> deliveredHere_;
+  std::uint64_t dataSent_ = 0;
+  std::uint64_t dataReceived_ = 0;
+  std::uint64_t sendRejects_ = 0;  // SV/request/data sends the MAC refused
   int nextSeq_ = 0;
 };
 

@@ -90,18 +90,72 @@ std::vector<ScenarioConfig> fuzzedConfigs() {
   return out;
 }
 
+/// 12 seeded overload/fault configurations: stochastic traffic far past
+/// the saturation knee (finite queues and storage), 10%-loss interference
+/// bursts, frame corruption, stuck-node stalls, and GLR's watermark /
+/// congestion-control knobs. A separate corpus (own RNG) so the original
+/// 24-config draw sequence stays pinned.
+std::vector<ScenarioConfig> overloadConfigs() {
+  constexpr Protocol kProtocols[] = {
+      Protocol::kGlr, Protocol::kEpidemic, Protocol::kSprayAndWait,
+      Protocol::kDirectDelivery};
+  const std::vector<std::string> trafficModels = {"poisson", "onoff",
+                                                  "hotspot", "flashcrowd"};
+  Rng rng{0xBADC0FFEEULL};
+  std::vector<ScenarioConfig> out;
+  for (int i = 0; i < 12; ++i) {
+    ScenarioConfig cfg;
+    cfg.protocol = kProtocols[i % 4];
+    cfg.numNodes = 18 + static_cast<int>(rng.below(10));
+    cfg.trafficNodes = cfg.numNodes - 2;
+    cfg.radius = 100.0 + rng.uniform(0.0, 80.0);
+    cfg.simTime = 90.0 + rng.uniform(0.0, 60.0);
+    cfg.queueLimit = 20 + rng.below(40);
+    cfg.storageLimit = 8 + rng.below(24);
+    cfg.traffic.model =
+        trafficModels[static_cast<std::size_t>(i) % trafficModels.size()];
+    cfg.traffic.rate = 20.0 + rng.uniform(0.0, 40.0);  // far past the knee
+    if (cfg.protocol == Protocol::kGlr) {
+      cfg.custodyWatermark = 4 + rng.below(6);
+      cfg.congestionControl = rng.bernoulli(0.5);
+    }
+    if (i % 3 == 0) {
+      cfg.faults.enabled = true;
+      cfg.faults.params.burstRate = 0.05;  // interference episodes…
+      cfg.faults.params.burstMean = 4.0;
+      cfg.faults.params.lossProb = 0.1;  // …dropping 10% of deliveries
+    } else if (i % 3 == 1) {
+      cfg.faults.enabled = true;
+      cfg.faults.params.corruptProb = 0.02;
+      cfg.faults.params.stallRate = 0.02;
+      cfg.faults.params.stallMean = 5.0;
+    }
+    cfg.seed = 5000 + static_cast<std::uint64_t>(i);
+    out.push_back(cfg);
+  }
+  return out;
+}
+
 /// The invariant battery. Every law here must hold for any (config, result)
 /// pair the engine can produce; a failure is a real bug, not a flaky test.
 void checkInvariants(const ScenarioConfig& cfg, const ScenarioResult& r,
                      int caseIdx) {
   SCOPED_TRACE("case " + std::to_string(caseIdx) + ": " +
                protocolName(cfg.protocol) + " x " + cfg.mobility.model +
-               (cfg.churn.enabled ? " x churn" : "") + " seed " +
+               " x " + cfg.traffic.model +
+               (cfg.churn.enabled ? " x churn" : "") +
+               (cfg.faults.enabled ? " x faults" : "") + " seed " +
                std::to_string(cfg.seed));
 
   // Conservation: nothing is delivered that was not created, and the
-  // metrics layer collapses duplicate deliveries onto the first one.
-  EXPECT_LE(r.created, static_cast<std::size_t>(cfg.numMessages));
+  // metrics layer collapses duplicate deliveries onto the first one. The
+  // paper schedule creates exactly numMessages; stochastic models are
+  // bounded only by maxMessages (when set).
+  if (cfg.traffic.model == "paper") {
+    EXPECT_LE(r.created, static_cast<std::size_t>(cfg.numMessages));
+  } else if (cfg.traffic.maxMessages != 0) {
+    EXPECT_LE(r.created, cfg.traffic.maxMessages);
+  }
   EXPECT_LE(r.delivered, r.created);
   EXPECT_GE(r.deliveryRatio, 0.0);
   EXPECT_LE(r.deliveryRatio, 1.0);
@@ -130,18 +184,33 @@ void checkInvariants(const ScenarioConfig& cfg, const ScenarioResult& r,
   }
   EXPECT_LE(r.avgPeakStorage, r.maxPeakStorage + 1e-9);
 
-  // Custody balance: an ack is sent at most once per received custody
-  // transfer and received at most once per sent ack — the chain
-  // acksReceived <= acksSent <= dataReceived <= dataSent can thin out
-  // (losses) but never grow.
+  // Custody balance: each received custody transfer is answered with at
+  // most one of {accepted ack, watermark refusal}, and an ack is received
+  // at most once per sent ack — the chain acksReceived <= acksSent (+
+  // refusals) <= dataReceived <= dataSent can thin out (losses) but never
+  // grow.
   EXPECT_LE(r.glrCustodyAcksReceived, r.glrCustodyAcksSent);
-  EXPECT_LE(r.glrCustodyAcksSent, r.glrDataReceived);
+  EXPECT_LE(r.glrCustodyAcksSent + r.custodyRefusals, r.glrDataReceived);
   EXPECT_LE(r.glrDataReceived, r.glrDataSent);
 
-  // Churn accounting: a homogeneous always-up radio never drops for being
-  // down.
-  if (!cfg.churn.enabled) {
+  // Churn accounting: a radio that nothing duty-cycles (no churn, no
+  // stuck-node stalls) never drops for being down.
+  if (!cfg.churn.enabled &&
+      !(cfg.faults.enabled && cfg.faults.params.stallRate > 0.0)) {
     EXPECT_EQ(r.macRadioDownDrops, 0u);
+  }
+
+  // Overload accounting: the new counters are zero exactly when their
+  // mechanism is off — no fault layer means no fault drops, no watermark
+  // means no refusals, unlimited storage means no evictions.
+  if (!cfg.faults.enabled) {
+    EXPECT_EQ(r.faultFrameDrops, 0u);
+  }
+  if (cfg.custodyWatermark == 0) {
+    EXPECT_EQ(r.custodyRefusals, 0u);
+  }
+  if (cfg.storageLimit == kUnlimitedStorage) {
+    EXPECT_EQ(r.bufferEvictions, 0u);
   }
 
   // Run health: something actually executed, and the clock stayed sane
@@ -184,6 +253,48 @@ TEST(InvariantFuzz, LawsHoldAcrossTheScenarioMatrixAtAnyThreadCount) {
   for (std::size_t i = 0; i < base.size(); ++i) {
     EXPECT_TRUE(bitIdenticalIgnoringWall(base[i], parallel[i]))
         << "cell " << i << " diverged across thread counts";
+  }
+}
+
+TEST(InvariantFuzz, OverloadAndFaultLawsHoldAtAnyThreadCount) {
+  const std::vector<ScenarioConfig> cells = overloadConfigs();
+
+  SweepRunner::Options serialOpts;
+  serialOpts.threads = 1;
+  SweepRunner serial{serialOpts};
+  const std::vector<ScenarioResult> base = serial.runCells(cells);
+
+  ASSERT_EQ(base.size(), cells.size());
+  std::uint64_t rejects = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t faultDrops = 0;
+  std::uint64_t refusals = 0;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    checkInvariants(cells[i], base[i], static_cast<int>(i));
+    rejects += base[i].sendRejects + base[i].macQueueDrops;
+    evictions += base[i].bufferEvictions;
+    if (cells[i].faults.enabled) faultDrops += base[i].faultFrameDrops;
+    if (cells[i].custodyWatermark > 0) refusals += base[i].custodyRefusals;
+  }
+  // The corpus must actually saturate: offered load past the knee has to
+  // produce counted rejections and storage-pressure evictions somewhere,
+  // the fault layer has to drop deliveries, and the watermark has to
+  // refuse custody — otherwise the laws above were checked in a vacuum.
+  EXPECT_GT(rejects, 0u);
+  EXPECT_GT(evictions, 0u);
+  EXPECT_GT(faultDrops, 0u);
+  EXPECT_GT(refusals, 0u);
+
+  // Determinism under overload: saturated queues, fault draws and refusal
+  // backoffs must all land bit-identically on a 3-thread pool.
+  SweepRunner::Options poolOpts;
+  poolOpts.threads = 3;
+  SweepRunner pool{poolOpts};
+  const std::vector<ScenarioResult> parallel = pool.runCells(cells);
+  ASSERT_EQ(parallel.size(), base.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_TRUE(bitIdenticalIgnoringWall(base[i], parallel[i]))
+        << "overload cell " << i << " diverged across thread counts";
   }
 }
 
