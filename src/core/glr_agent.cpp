@@ -5,6 +5,7 @@
 
 #include "core/face.hpp"
 #include "core/trees.hpp"
+#include "net/faults.hpp"
 #include "spanner/ldtg.hpp"
 
 namespace glr::core {
@@ -65,6 +66,10 @@ void GlrAgent::periodicCheck() {
   if (params_->locationEvictAfter > 0.0) {
     locations_.prune(world_.sim().now() - params_->locationEvictAfter);
   }
+  // TTL sweep (gated so TTL-less runs never pay the scan): expired copies
+  // leave as counted drops; a pending custody timer for an expired cached
+  // copy finds its entry gone and stays silent.
+  if (params_->messageTtl > 0.0) buffer_.expireDue(world_.sim().now());
   checkRoutes();
   world_.sim().schedule(params_->checkInterval, [this] { periodicCheck(); });
 }
@@ -79,6 +84,9 @@ void GlrAgent::originate(int dstNode) {
   base.dstNode = dstNode;
   base.created = world_.sim().now();
   base.payloadBytes = params_->payloadBytes;
+  if (params_->messageTtl > 0.0) {
+    base.expiresAt = base.created + params_->messageTtl;
+  }
 
   switch (params_->locationMode) {
     case LocationMode::kOracleAll:
@@ -177,6 +185,14 @@ void GlrAgent::checkRoutes() {
   spannerNbrs.reserve(spannerIds.size());
   const double sendRange = params_->sendRangeGuard * params_->network.radius;
   for (const int id : spannerIds) {
+    // Reroute-avoiding-suspects: a hop under an active suspect verdict is
+    // excluded from this check's candidate set entirely (greedy and face
+    // alike). Direct delivery below is exempt — the destination is the
+    // endpoint of the custody chain, not a relay.
+    if (params_->recovery && isSuspect(id)) {
+      ++counters_.suspectSkips;
+      continue;
+    }
     if (const auto pos = neighbors_.neighborPosition(id); pos.has_value()) {
       if (geom::dist(self, *pos) <= sendRange) {
         spannerNbrs.emplace_back(id, *pos);
@@ -189,6 +205,15 @@ void GlrAgent::checkRoutes() {
     if (sendBudget <= 0) break;  // remaining copies wait for the next check
     dtn::Message* m = buffer_.findInStore(key);
     if (m == nullptr) continue;  // evicted or sent meanwhile
+
+    // Recovery mode: a copy whose custody chain keeps failing (timeouts,
+    // refusal NACKs, no-route checks) falls back to a bounded custody-free
+    // spray before continuing normal routing below.
+    if (params_->recovery &&
+        m->deliveryFailures >= params_->recoveryAfterFailures &&
+        world_.sim().now() >= m->lastRecoveryAt + params_->recoveryCooldown) {
+      attemptRecovery(*m);
+    }
 
     // Direct delivery when the destination is a current neighbor.
     if (neighbors_.isNeighbor(m->dstNode)) {
@@ -224,6 +249,10 @@ void GlrAgent::checkRoutes() {
     // next attempt — unless the perturbation just opened a new direction.
     const auto noRoute = [&](dtn::Message& msg) {
       ++msg.stuckCount;
+      // A check that found no usable next hop feeds the copy's recovery
+      // pressure: repeated spanner route-check failure is the fallback
+      // trigger (ROADMAP item 5), not just custody losses.
+      if (params_->recovery) ++msg.deliveryFailures;
       const sim::SimTime before = msg.lastPerturbAt;
       maybePerturbDestination(msg);
       if (msg.lastPerturbAt != before) {
@@ -359,6 +388,65 @@ void GlrAgent::onCongestionSignal() {
   cwnd_ = ssthresh_;
 }
 
+bool GlrAgent::isSuspect(int id) const {
+  const auto it = suspicion_.find(id);
+  return it != suspicion_.end() && world_.sim().now() < it->second.until;
+}
+
+void GlrAgent::noteCustodyFailure(int hop) {
+  SuspectEntry& s = suspicion_[hop];
+  ++s.failures;
+  if (s.failures >= params_->suspicionThreshold) {
+    const sim::SimTime now = world_.sim().now();
+    // Count only fresh verdicts; failures while already suspect (in-flight
+    // custody rounds draining) just extend the existing one.
+    if (now >= s.until) ++counters_.suspicionsRaised;
+    s.until = now + params_->suspicionTtl;
+  }
+}
+
+void GlrAgent::noteCustodySuccess(int hop) {
+  // An accepted custody ack is live evidence of honest relaying: drop the
+  // score and any active verdict. A blackhole never produces one, so its
+  // verdict only lapses by TTL; a greyhole must keep re-earning suspicion,
+  // which is the price of its partial acking.
+  suspicion_.erase(hop);
+}
+
+void GlrAgent::attemptRecovery(dtn::Message& m) {
+  // Bounded spray fallback: clone the copy to up to recoveryFanout
+  // non-suspect neighbors WITHOUT custody — this node keeps the original
+  // (and custody) in its Store, the clones resume normal custody chains at
+  // their recipients. Bypasses the custody window deliberately: the window
+  // is flow control for the chain that is failing. Fanout, per-copy
+  // cooldown and the duplicate merge at receivers bound the replication.
+  ++counters_.recoveryActivations;
+  m.lastRecoveryAt = world_.sim().now();
+  m.deliveryFailures = 0;
+  int fanout = params_->recoveryFanout;
+  for (const int id : neighbors_.currentNeighbors()) {  // sorted: stable order
+    if (fanout <= 0) break;
+    if (id == m.dstNode) continue;  // the direct-delivery path handles it
+    if (isSuspect(id)) {
+      ++counters_.suspectSkips;
+      continue;
+    }
+    dtn::Message clone = m;
+    clone.facePrevHop = self_;
+    net::Packet packet;
+    packet.kind = kGlrDataKind;
+    packet.bytes = clone.payloadBytes + params_->dataHeaderBytes;
+    packet.payload = net::Payload::of(std::move(clone));
+    if (world_.macOf(self_).send(std::move(packet), id)) {
+      ++counters_.recoverySprays;
+      ++counters_.dataSent;
+      --fanout;
+    } else {
+      ++counters_.sendRejects;
+    }
+  }
+}
+
 bool GlrAgent::sendCopy(const dtn::CopyKey& key, int nextHop) {
   dtn::Message* m = buffer_.findInStore(key);
   if (m == nullptr) return false;
@@ -389,8 +477,21 @@ bool GlrAgent::sendCopy(const dtn::CopyKey& key, int nextHop) {
     world_.sim().schedule(custodyTimeoutNow(), [this, key, sentAt] {
       // Reschedule only if this exact custody round is still outstanding.
       if (buffer_.cacheEntrySentAt(key) == sentAt) {
+        // A withheld custody ack is the only observable signature of a
+        // blackhole (it accepts the frame and stays silent), so the timeout
+        // is where suspicion accrues against the chosen next hop.
+        if (params_->recovery) {
+          if (const auto hop = buffer_.cacheEntryNextHop(key)) {
+            noteCustodyFailure(*hop);
+          }
+        }
         buffer_.returnToStore(key);
         ++counters_.cacheTimeouts;
+        if (params_->recovery) {
+          if (dtn::Message* mm = buffer_.findInStore(key)) {
+            ++mm->deliveryFailures;
+          }
+        }
         // An unacknowledged custody transfer is the loss signal for the
         // congestion window.
         if (params_->congestionControl) onCongestionSignal();
@@ -408,7 +509,7 @@ void GlrAgent::onPacket(const net::Packet& packet, int fromMac) {
   if (packet.kind == kGlrDataKind) {
     handleData(packet, fromMac);
   } else if (packet.kind == kGlrAckKind) {
-    handleAck(packet);
+    handleAck(packet, fromMac);
   }
 }
 
@@ -418,6 +519,28 @@ void GlrAgent::handleData(const net::Packet& packet, int fromMac) {
   dtn::Message m = *pm;
   m.hops += 1;
   ++counters_.dataReceived;
+
+  // Adversarial behavior applies only to the relay path: a misbehaving node
+  // still receives its own traffic (and originates normally). A blackhole
+  // stays silent — no ack, so the sender's custody timeout fires and feeds
+  // suspicion. A selfish node refuses politely with a NACK; the refusal is
+  // counted by the AdversaryModel, not in custodyRefusalsSent, so the
+  // honest-pressure counter keeps its zero-when-off meaning.
+  if (m.dstNode != self_) {
+    if (net::AdversaryModel* adv = world_.adversary()) {
+      switch (adv->onRelayData(self_)) {
+        case net::AdversaryModel::RelayDecision::kAccept:
+          break;
+        case net::AdversaryModel::RelayDecision::kDrop:
+          return;
+        case net::AdversaryModel::RelayDecision::kRefuse:
+          if (params_->custodyTransfer) {
+            sendCustodyAck(m.key(), fromMac, 0, /*accepted=*/false);
+          }
+          return;
+      }
+    }
+  }
 
   // Buffer-pressure custody refusal: at or above the watermark this node
   // declines new custody (NACK — the sender keeps its copy and backs off)
@@ -468,10 +591,12 @@ void GlrAgent::handleData(const net::Packet& packet, int fromMac) {
   m.stuckCount = 0;
   m.waitChecks = 0;
   m.retryBackoff = 1;
+  m.deliveryFailures = 0;
+  m.lastRecoveryAt = -1e18;
   buffer_.addToStore(std::move(m));
 }
 
-void GlrAgent::handleAck(const net::Packet& packet) {
+void GlrAgent::handleAck(const net::Packet& packet, int fromMac) {
   const auto* ack = packet.payload.get<CustodyAck>();
   if (ack == nullptr) return;
   if (!ack->accepted) {
@@ -480,10 +605,12 @@ void GlrAgent::handleAck(const net::Packet& packet) {
     // hop is not hammered every check. A refusal is also a congestion
     // signal for the AIMD window.
     ++counters_.custodyRefusalsReceived;
+    if (params_->recovery) noteCustodyFailure(fromMac);
     if (buffer_.returnToStore(ack->key)) {
       if (dtn::Message* m = buffer_.findInStore(ack->key)) {
         m->waitChecks = m->retryBackoff;
         m->retryBackoff = std::min(2 * m->retryBackoff, 8);
+        if (params_->recovery) ++m->deliveryFailures;
       }
     }
     if (params_->congestionControl) onCongestionSignal();
@@ -496,6 +623,7 @@ void GlrAgent::handleAck(const net::Packet& packet) {
   }
   if (buffer_.removeFromCache(ack->key).has_value()) {
     ++counters_.custodyAcksReceived;
+    if (params_->recovery) noteCustodySuccess(fromMac);
     if (params_->congestionControl) {
       if (sentAt.has_value()) {
         recordCustodyRtt(world_.sim().now() - *sentAt);

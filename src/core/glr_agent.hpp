@@ -90,6 +90,32 @@ struct GlrParams {
   /// so pruning is observable only when a later route check would have
   /// fallen back to one of these very stale positions.
   double locationEvictAfter = 0.0;
+  /// Message lifetime in seconds (0 = immortal, the historical default).
+  /// Expired copies are dropped by a counted sweep at each periodic check
+  /// (MessageBuffer::expireDue -> expiredDrops), never silently.
+  double messageTtl = 0.0;
+  /// Custody-transfer reliability sublayer (adversarial resilience; all off
+  /// by default so every pinned golden stays bit-identical). `recovery`
+  /// master-switches three mechanisms: (1) suspicion scoring — every
+  /// custody round that ends in a cache timeout or refusal NACK charges the
+  /// next hop one failure, and `suspicionThreshold` failures without an
+  /// intervening accepted ack mark it suspect for `suspicionTtl` seconds
+  /// (an accepted ack clears the score: a greyhole must keep re-earning its
+  /// verdict); (2) reroute — suspect hops are excluded from the spanner
+  /// candidate set of every route check (never from final delivery: the
+  /// destination always gets its own traffic); (3) spray fallback — a copy
+  /// whose failure score (custody failures + no-route checks) reaches
+  /// `recoveryAfterFailures` is cloned, custody-free, to up to
+  /// `recoveryFanout` non-suspect neighbors (at most once per
+  /// `recoveryCooldown` per copy), bounded replication that jumps the copy
+  /// out of a failing neighborhood while this node keeps custody of the
+  /// original (ROADMAP item 5's recovery mode).
+  bool recovery = false;
+  int suspicionThreshold = 2;
+  double suspicionTtl = 120.0;
+  int recoveryAfterFailures = 3;
+  int recoveryFanout = 2;
+  double recoveryCooldown = 15.0;
   net::NeighborService::Params hello;
 };
 
@@ -108,6 +134,11 @@ struct GlrCounters {
   std::uint64_t custodyRefusalsSent = 0;      // NACKs sent under watermark
   std::uint64_t custodyRefusalsReceived = 0;  // NACKs received (backed off)
   std::uint64_t sendRejects = 0;  // data/ack sends the MAC finally refused
+  // Reliability sublayer (all zero unless GlrParams::recovery is on).
+  std::uint64_t suspicionsRaised = 0;      // hops newly marked suspect
+  std::uint64_t suspectSkips = 0;          // forwarding choices that avoided one
+  std::uint64_t recoveryActivations = 0;   // copies that entered spray fallback
+  std::uint64_t recoverySprays = 0;        // custody-free clones actually sent
 };
 
 /// Custody acknowledgement payload (paper: contains source, destination,
@@ -165,6 +196,11 @@ class GlrAgent final : public routing::DtnAgent {
     out.sendRejects += counters_.sendRejects + neighbors_.helloSendFailures();
     out.bufferEvictions += buffer_.dropCount();
     out.custodyRefusals += counters_.custodyRefusalsSent;
+    out.suspicionsRaised += counters_.suspicionsRaised;
+    out.suspectSkips += counters_.suspectSkips;
+    out.recoveryActivations += counters_.recoveryActivations;
+    out.recoverySprays += counters_.recoverySprays;
+    out.expiredDrops += buffer_.expiredCount();
   }
 
   [[nodiscard]] const GlrCounters& counters() const { return counters_; }
@@ -200,8 +236,19 @@ class GlrAgent final : public routing::DtnAgent {
   /// known (only possible before any observation in kNoneKnow-less setups).
   bool resolveDestination(dtn::Message& m, geom::Point2& out);
   void handleData(const net::Packet& packet, int fromMac);
-  void handleAck(const net::Packet& packet);
+  void handleAck(const net::Packet& packet, int fromMac);
   void maybePerturbDestination(dtn::Message& m);
+  /// Suspicion ledger (recovery sublayer): true while `id` carries an
+  /// unexpired suspect verdict.
+  [[nodiscard]] bool isSuspect(int id) const;
+  /// Charges `hop` one custody failure (timeout or refusal NACK); crossing
+  /// suspicionThreshold (re)marks it suspect for suspicionTtl seconds.
+  void noteCustodyFailure(int hop);
+  /// An accepted custody ack clears `hop`'s score and verdict.
+  void noteCustodySuccess(int hop);
+  /// Spray fallback: clones the copy, custody-free, to up to recoveryFanout
+  /// non-suspect current neighbors; the original stays in the Store.
+  void attemptRecovery(dtn::Message& m);
   [[nodiscard]] geom::Point2 myPos() { return world_.positionOf(self_); }
 
   net::World& world_;
@@ -218,6 +265,13 @@ class GlrAgent final : public routing::DtnAgent {
   dtn::MessageBuffer buffer_;
   dtn::LocationTable locations_;
   std::unordered_set<dtn::MessageId> deliveredHere_;
+  /// Per-next-hop custody failure scores and suspect verdicts (empty and
+  /// untouched unless params_->recovery).
+  struct SuspectEntry {
+    int failures = 0;
+    sim::SimTime until = -1e18;  // verdict active while now < until
+  };
+  std::unordered_map<int, SuspectEntry> suspicion_;
   GlrCounters counters_;
   int nextSeq_ = 0;
   bool checkQueued_ = false;  // suppress redundant contact-triggered checks

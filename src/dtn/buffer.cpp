@@ -188,6 +188,36 @@ std::optional<sim::SimTime> MessageBuffer::cacheEntrySentAt(
   return idx->second->sentAt;
 }
 
+std::optional<int> MessageBuffer::cacheEntryNextHop(const CopyKey& key) const {
+  const auto idx = cacheIndex_.find(key);
+  if (idx == cacheIndex_.end()) return std::nullopt;
+  return idx->second->nextHop;
+}
+
+std::size_t MessageBuffer::expireDue(sim::SimTime now) {
+  std::size_t removed = 0;
+  for (auto it = store_.begin(); it != store_.end();) {
+    if (it->expiresAt <= now) {
+      indexStoreErase(it);
+      it = store_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (it->message.expiresAt <= now) {
+      indexCacheErase(it);
+      it = cache_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  expired_ += removed;
+  return removed;
+}
+
 std::vector<CopyKey> MessageBuffer::cachedSentBefore(
     sim::SimTime before) const {
   std::vector<CopyKey> out;

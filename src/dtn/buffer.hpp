@@ -93,6 +93,20 @@ class MessageBuffer {
   [[nodiscard]] std::optional<sim::SimTime> cacheEntrySentAt(
       const CopyKey& key) const;
 
+  /// The next hop a cached copy was sent to, if it is currently cached.
+  /// Feeds GLR's suspicion scoring: a custody timeout reads the hop before
+  /// reclaiming the copy.
+  [[nodiscard]] std::optional<int> cacheEntryNextHop(const CopyKey& key) const;
+
+  /// Drops every copy (both areas) whose `expiresAt <= now`, counting each
+  /// into expiredCount() — TTL expiry is a counted drop, never a silent
+  /// erasure. Returns how many copies expired. A no-op for immortal
+  /// messages (the default far-future expiresAt), so callers may sweep
+  /// unconditionally without perturbing TTL-less runs.
+  std::size_t expireDue(sim::SimTime now);
+
+  [[nodiscard]] std::uint64_t expiredCount() const { return expired_; }
+
   [[nodiscard]] std::size_t storeSize() const { return store_.size(); }
   [[nodiscard]] std::size_t cacheSize() const { return cache_.size(); }
   [[nodiscard]] std::size_t size() const {
@@ -133,6 +147,7 @@ class MessageBuffer {
   std::unordered_map<MessageId, std::uint32_t> branchCount_;
   std::size_t peak_ = 0;
   std::uint64_t drops_ = 0;
+  std::uint64_t expired_ = 0;
   /// Deferred index reserve size; consumed (zeroed) on the first insert.
   std::size_t reserveHint_ = 0;
 };

@@ -45,6 +45,13 @@ struct Message {
   sim::SimTime created = 0;
   std::size_t payloadBytes = 1000;  // paper Table 1
 
+  /// Bundle lifetime: a copy still buffered at this time is expired and
+  /// dropped as a *counted* expiry (MessageBuffer::expireDue), never a
+  /// silent erasure. The far-future default makes messages immortal — the
+  /// historical behavior every golden was recorded under. Stamped once by
+  /// the originator and carried verbatim across hops.
+  sim::SimTime expiresAt = 1e18;
+
   /// Tree branch this copy follows (kNone => plain greedy / baseline).
   TreeFlag flag = TreeFlag::kNone;
 
@@ -85,6 +92,15 @@ struct Message {
 
   /// Last stale-location perturbation time (cooldown bookkeeping).
   sim::SimTime lastPerturbAt = -1e18;
+
+  /// Adversarial-resilience recovery state (holder-local, reset at each
+  /// hop): custody rounds for this copy that ended in a timeout or refusal
+  /// NACK plus route checks that found no usable next hop; when the score
+  /// crosses GlrParams::recoveryAfterFailures the holder falls back to a
+  /// bounded spray (GlrAgent recovery mode), throttled per copy by
+  /// lastRecoveryAt.
+  int deliveryFailures = 0;
+  sim::SimTime lastRecoveryAt = -1e18;
 
   /// No face walk is re-attempted before this time. A face that already
   /// looped back cannot deliver until topology changes, so re-walking it is

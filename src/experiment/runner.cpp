@@ -140,9 +140,9 @@ void ThreadPool::parallelFor(std::size_t n,
 
 // The comparator below must enumerate every ScenarioResult field except
 // wallSeconds; a field it misses silently escapes the determinism
-// contract. The struct is 31 tightly-packed 8-byte scalars — adding one
+// contract. The struct is 42 tightly-packed 8-byte scalars — adding one
 // trips this assert, which is your cue to extend the comparator.
-static_assert(sizeof(ScenarioResult) == 31 * sizeof(std::uint64_t),
+static_assert(sizeof(ScenarioResult) == 42 * sizeof(std::uint64_t),
               "ScenarioResult changed: update bitIdenticalIgnoringWall");
 
 bool bitIdenticalIgnoringWall(const ScenarioResult& a,
@@ -171,6 +171,17 @@ bool bitIdenticalIgnoringWall(const ScenarioResult& a,
          a.sendRejects == b.sendRejects &&
          a.bufferEvictions == b.bufferEvictions &&
          a.custodyRefusals == b.custodyRefusals &&
+         a.advBlackholeDrops == b.advBlackholeDrops &&
+         a.advGreyholeDrops == b.advGreyholeDrops &&
+         a.advSelfishRefusals == b.advSelfishRefusals &&
+         a.advFlapTransitions == b.advFlapTransitions &&
+         a.glrSuspicionsRaised == b.glrSuspicionsRaised &&
+         a.glrSuspectSkips == b.glrSuspectSkips &&
+         a.glrRecoveryActivations == b.glrRecoveryActivations &&
+         a.glrRecoverySprays == b.glrRecoverySprays &&
+         a.expiredDrops == b.expiredDrops &&
+         a.bufferedAtEnd == b.bufferedAtEnd &&
+         a.macQueueAtEnd == b.macQueueAtEnd &&
          a.eventsExecuted == b.eventsExecuted;
 }
 

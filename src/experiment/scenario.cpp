@@ -118,6 +118,13 @@ std::unique_ptr<routing::DtnAgent> makeAgent(
         p.locationEvictAfter = cfg.locationEvictAfter;
         p.custodyWatermark = cfg.custodyWatermark;
         p.congestionControl = cfg.congestionControl;
+        p.recovery = cfg.glrRecovery;
+        p.suspicionThreshold = cfg.glrSuspicionThreshold;
+        p.recoveryAfterFailures = cfg.glrRecoveryAfterFailures;
+        p.recoveryFanout = cfg.glrRecoveryFanout;
+        p.recoveryCooldown = cfg.glrRecoveryCooldown;
+        p.suspicionTtl = cfg.glrSuspicionTtl;
+        p.messageTtl = cfg.messageTtl;
         hello.includeNeighborList = true;  // 2-hop knowledge for the LDTG
         p.hello = hello;
         glrShared = std::make_shared<const core::GlrParams>(std::move(p));
@@ -129,6 +136,7 @@ std::unique_ptr<routing::DtnAgent> makeAgent(
       routing::EpidemicParams p;
       p.expectedBufferedCopies = copiesHint;
       p.storageLimit = cfg.storageLimit;
+      p.messageTtl = cfg.messageTtl;
       hello.includeNeighborList = false;
       p.hello = hello;
       return std::make_unique<routing::EpidemicAgent>(world, id, p, metrics,
@@ -149,6 +157,7 @@ std::unique_ptr<routing::DtnAgent> makeAgent(
       p.expectedBufferedCopies = copiesHint;
       p.copyBudget = cfg.sprayBudget;
       p.storageLimit = cfg.storageLimit;
+      p.messageTtl = cfg.messageTtl;
       hello.includeNeighborList = false;
       p.hello = hello;
       return std::make_unique<routing::SprayWaitAgent>(world, id, p, metrics,
@@ -339,6 +348,7 @@ ScenarioResult runScenario(const ScenarioConfig& cfg) {
   for (const routing::DtnAgent* a : agents) {
     peaks.add(static_cast<double>(a->storagePeak()));
     a->harvestCounters(proto);
+    r.bufferedAtEnd += a->storageUsed();
   }
   r.glrDataSent = proto.dataSent;
   r.glrDataReceived = proto.dataReceived;
@@ -351,8 +361,25 @@ ScenarioResult runScenario(const ScenarioConfig& cfg) {
   r.sendRejects = proto.sendRejects;
   r.bufferEvictions = proto.bufferEvictions;
   r.custodyRefusals = proto.custodyRefusals;
+  r.glrSuspicionsRaised = proto.suspicionsRaised;
+  r.glrSuspectSkips = proto.suspectSkips;
+  r.glrRecoveryActivations = proto.recoveryActivations;
+  r.glrRecoverySprays = proto.recoverySprays;
+  r.expiredDrops = proto.expiredDrops;
   r.maxPeakStorage = peaks.max();
   r.avgPeakStorage = peaks.mean();
+
+  // Adversary-layer accounting: every blackhole/greyhole discard and every
+  // selfish refusal is counted at the model, so no adversarial loss is
+  // silent. All zero (and the model absent) when no misbehaving fraction is
+  // configured.
+  if (faults != nullptr && faults->adversary() != nullptr) {
+    const net::AdversaryModel::Counters& ac = faults->adversary()->counters();
+    r.advBlackholeDrops = ac.blackholeDrops;
+    r.advGreyholeDrops = ac.greyholeDrops;
+    r.advSelfishRefusals = ac.selfishRefusals;
+    r.advFlapTransitions = ac.flapTransitions;
+  }
 
   for (int i = 0; i < cfg.numNodes; ++i) {
     const auto& ms = world.macOf(i).stats();
@@ -362,6 +389,7 @@ ScenarioResult runScenario(const ScenarioConfig& cfg) {
     r.macRadioDownDrops += ms.radioDownDrops;
     r.macAckTimeouts += ms.ackTimeouts;
     r.macBusyDeferrals += ms.busyDeferrals;
+    r.macQueueAtEnd += world.macOf(i).queueLength();
   }
   r.collisions = world.channel().stats().collisions;
   r.airTimeSeconds = world.channel().stats().airTimeSeconds;

@@ -138,6 +138,22 @@ struct ScenarioConfig {
   /// AIMD custody window driven by the custody-ack RTT estimator.
   std::size_t custodyWatermark = 0;
   bool congestionControl = false;
+  /// Adversarial-resilience knobs (all off by default — bit-identical
+  /// goldens). glrRecovery arms GLR's custody-failure detection: suspicion
+  /// scoring on custody timeouts/NACKs, suspect-avoiding reroute, and the
+  /// bounded spray fallback for copies that keep failing. messageTtl > 0
+  /// gives bundles a lifetime (counted expiry drops) for every protocol.
+  /// Misbehaving-node populations ride in faults.params.adversary.
+  /// Detector tuning for glrRecovery (GlrParams defaults; see
+  /// core/glr_agent.hpp): custody failures on a hop before it is marked
+  /// suspect, and failures on a copy before the spray fallback clones it.
+  bool glrRecovery = false;
+  int glrSuspicionThreshold = 2;
+  int glrRecoveryAfterFailures = 3;
+  int glrRecoveryFanout = 2;
+  double glrRecoveryCooldown = 15.0;
+  double glrSuspicionTtl = 120.0;
+  double messageTtl = 0.0;
 
   // Scaling-path knobs (city-scale worlds). Defaults keep every pinned
   // golden bit-identical; bench_scale and the scale tests flip them.
@@ -199,6 +215,27 @@ struct ScenarioResult {
   std::uint64_t sendRejects = 0;
   std::uint64_t bufferEvictions = 0;
   std::uint64_t custodyRefusals = 0;
+
+  // Adversarial resilience. The adv* fields count misbehavior at the
+  // adversary layer (every blackhole/greyhole discard lands in exactly one
+  // of them — no uncounted loss); the glr* fields count the recovery
+  // sublayer's reactions. expiredDrops counts TTL expiries across all
+  // protocols; bufferedAtEnd is the copies still held by agents when the
+  // scenario ends and macQueueAtEnd the frames still sitting in MAC queues
+  // (a copy can end the run in flight), closing the conservation inequality
+  //   created <= delivered + bufferedAtEnd + macQueueAtEnd + counted drops.
+  // All zero when the corresponding knobs are off.
+  std::uint64_t advBlackholeDrops = 0;
+  std::uint64_t advGreyholeDrops = 0;
+  std::uint64_t advSelfishRefusals = 0;
+  std::uint64_t advFlapTransitions = 0;
+  std::uint64_t glrSuspicionsRaised = 0;
+  std::uint64_t glrSuspectSkips = 0;
+  std::uint64_t glrRecoveryActivations = 0;
+  std::uint64_t glrRecoverySprays = 0;
+  std::uint64_t expiredDrops = 0;
+  std::uint64_t bufferedAtEnd = 0;
+  std::uint64_t macQueueAtEnd = 0;
 
   // Run health.
   std::uint64_t eventsExecuted = 0;

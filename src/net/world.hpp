@@ -16,6 +16,8 @@
 
 namespace glr::net {
 
+class AdversaryModel;  // net/faults.hpp
+
 /// Routing-protocol interface. Agents live on a node, receive packets from
 /// the MAC and send through it.
 class Agent {
@@ -102,6 +104,14 @@ class World {
   /// test_hotpath.cpp across all registered models and under churn.
   [[nodiscard]] geom::Point2 positionOf(int id);
 
+  /// Adversary layer (misbehaving-node models): installed by FaultProcess
+  /// when any behavior fraction is set, consulted by routing agents at the
+  /// single point where a relayed copy is accepted. Null in honest runs —
+  /// the observer pointer keeps world.hpp free of the faults dependency and
+  /// costs one branch on the relay path.
+  void setAdversary(AdversaryModel* adversary) { adversary_ = adversary; }
+  [[nodiscard]] AdversaryModel* adversary() { return adversary_; }
+
   [[nodiscard]] mac::Mac& macOf(int id);
   [[nodiscard]] Agent& agentOf(int id);
   [[nodiscard]] std::size_t numNodes() const { return nodes_.size(); }
@@ -125,6 +135,7 @@ class World {
   mac::MacParams macParams_;
   double nominalRange_;
   mac::Channel channel_;
+  AdversaryModel* adversary_ = nullptr;  // owned by FaultProcess
   std::vector<Node> nodes_;
   std::vector<double> nodeRange_;  // per-node override; 0 = shared radio
 

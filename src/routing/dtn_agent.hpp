@@ -28,6 +28,14 @@ struct ProtocolCounters {
   std::uint64_t sendRejects = 0;      // sends refused by the MAC queue
   std::uint64_t bufferEvictions = 0;  // storage-pressure evictions
   std::uint64_t custodyRefusals = 0;  // custody NACKs sent under watermark
+  // Adversarial-resilience counters (GLR recovery sublayer; zero for other
+  // protocols and whenever the recovery knob is off).
+  std::uint64_t suspicionsRaised = 0;     // fresh suspect verdicts
+  std::uint64_t suspectSkips = 0;         // candidate hops skipped as suspect
+  std::uint64_t recoveryActivations = 0;  // per-copy spray fallbacks entered
+  std::uint64_t recoverySprays = 0;       // custody-free clones sent
+  // TTL expiry is a counted drop for every protocol (zero without a TTL).
+  std::uint64_t expiredDrops = 0;
 };
 
 class DtnAgent : public net::Agent {

@@ -1,5 +1,7 @@
 #include "routing/epidemic.hpp"
 
+#include "net/faults.hpp"
+
 namespace glr::routing {
 
 EpidemicAgent::EpidemicAgent(net::World& world, int self,
@@ -24,6 +26,7 @@ void EpidemicAgent::start() {
 }
 
 void EpidemicAgent::exchangeTick() {
+  if (params_.messageTtl > 0.0) buffer_.expireDue(world_.sim().now());
   // Delta re-offers to neighbors that have not seen our latest additions,
   // rate-limited per pair (covers messages originated during a long-lived
   // contact without flooding full summary vectors every second).
@@ -73,6 +76,7 @@ void EpidemicAgent::originate(int dstNode) {
   m.dstNode = dstNode;
   m.created = world_.sim().now();
   m.payloadBytes = params_.payloadBytes;
+  if (params_.messageTtl > 0.0) m.expiresAt = m.created + params_.messageTtl;
   if (metrics_ != nullptr) metrics_->onCreated(m.id, m.created);
   addMessage(std::move(m));
 }
@@ -143,6 +147,18 @@ void EpidemicAgent::onPacket(const net::Packet& packet, int fromMac) {
     dtn::Message m = *pm;
     m.hops += 1;
     ++counters_.dataReceived;
+    // Adversaries misbehave only on the relay path: traffic addressed to
+    // this node is always delivered (and the drop is counted centrally by
+    // the AdversaryModel, never silently). Epidemic has no custody, so a
+    // selfish refusal degenerates to the same silent non-storage as a drop.
+    if (m.dstNode != self_) {
+      if (net::AdversaryModel* adv = world_.adversary()) {
+        if (adv->onRelayData(self_) !=
+            net::AdversaryModel::RelayDecision::kAccept) {
+          return;
+        }
+      }
+    }
     if (buffer_.containsAnyBranch(m.id) || deliveredHere_.contains(m.id)) {
       ++counters_.duplicatesDropped;
       return;

@@ -44,6 +44,10 @@ struct EpidemicParams {
   /// id near-simultaneously, and naive re-requests multiply the data flood
   /// by the node degree.
   double requestWindow = 3.0;
+  /// Bundle lifetime in seconds; 0 (default) = immortal messages, the
+  /// historical behavior. When set, expired copies are dropped as counted
+  /// expiries on the exchange tick (never silently).
+  double messageTtl = 0.0;
   net::NeighborService::Params hello;  // neighbor-list piggyback disabled
 };
 
@@ -94,6 +98,7 @@ class EpidemicAgent final : public DtnAgent {
     out.duplicatesDropped += counters_.duplicatesDropped;
     out.sendRejects += counters_.sendRejects + neighbors_.helloSendFailures();
     out.bufferEvictions += buffer_.dropCount();
+    out.expiredDrops += buffer_.expiredCount();
   }
 
   [[nodiscard]] const EpidemicCounters& counters() const { return counters_; }

@@ -1,5 +1,7 @@
 #include "routing/spray_wait.hpp"
 
+#include "net/faults.hpp"
+
 namespace glr::routing {
 
 SprayWaitAgent::SprayWaitAgent(net::World& world, int self,
@@ -16,7 +18,29 @@ SprayWaitAgent::SprayWaitAgent(net::World& world, int self,
   neighbors_.setContactCallback([this](int id) { onContact(id); });
 }
 
-void SprayWaitAgent::start() { neighbors_.start(); }
+void SprayWaitAgent::start() {
+  neighbors_.start();
+  // The expiry sweep exists only when a TTL is configured, so TTL-less runs
+  // execute a bit-identical event sequence to the historical behavior.
+  if (params_.messageTtl > 0.0) {
+    world_.sim().schedule(rng_.uniform(0.0, params_.expiryCheckInterval),
+                          [this] { expiryTick(); });
+  }
+}
+
+void SprayWaitAgent::expiryTick() {
+  if (buffer_.expireDue(world_.sim().now()) > 0) {
+    // Drop budget bookkeeping for ids no longer held anywhere.
+    for (auto it = budget_.begin(); it != budget_.end();) {
+      if (!buffer_.containsAnyBranch(it->first)) {
+        it = budget_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  world_.sim().schedule(params_.expiryCheckInterval, [this] { expiryTick(); });
+}
 
 void SprayWaitAgent::originate(int dstNode) {
   dtn::Message m;
@@ -25,6 +49,7 @@ void SprayWaitAgent::originate(int dstNode) {
   m.dstNode = dstNode;
   m.created = world_.sim().now();
   m.payloadBytes = params_.payloadBytes;
+  if (params_.messageTtl > 0.0) m.expiresAt = m.created + params_.messageTtl;
   if (metrics_ != nullptr) metrics_->onCreated(m.id, m.created);
   budget_[m.id] = params_.copyBudget;
   buffer_.addToStore(std::move(m));
@@ -114,6 +139,18 @@ void SprayWaitAgent::onPacket(const net::Packet& packet, int fromMac) {
     dtn::Message m = sd->message;
     m.hops += 1;
     ++dataReceived_;
+    // Relay-path adversary hook (own traffic always accepted). The sender
+    // has already handed over half its budget, so a blackhole relay burns
+    // logical copies — exactly the attack surface the resilience bench
+    // measures. Spray-and-Wait has no custody, so refusal == drop here.
+    if (m.dstNode != self_) {
+      if (net::AdversaryModel* adv = world_.adversary()) {
+        if (adv->onRelayData(self_) !=
+            net::AdversaryModel::RelayDecision::kAccept) {
+          return;
+        }
+      }
+    }
     if (m.dstNode == self_) {
       if (deliveredHere_.insert(m.id).second && metrics_ != nullptr) {
         metrics_->onDelivered(m.id, world_.sim().now(), m.hops);

@@ -28,6 +28,10 @@ struct SprayWaitParams {
   std::size_t dataHeaderBytes = 30;  // data header + budget field
   std::size_t svHeaderBytes = 20;
   std::size_t svEntryBytes = 8;
+  /// Bundle lifetime in seconds; 0 (default) = immortal messages. When set,
+  /// a periodic sweep drops expired copies as counted expiries.
+  double messageTtl = 0.0;
+  double expiryCheckInterval = 1.0;  // sweep cadence when messageTtl > 0
   net::NeighborService::Params hello;
 };
 
@@ -65,10 +69,12 @@ class SprayWaitAgent final : public DtnAgent {
     out.dataReceived += dataReceived_;
     out.sendRejects += sendRejects_ + neighbors_.helloSendFailures();
     out.bufferEvictions += buffer_.dropCount();
+    out.expiredDrops += buffer_.expiredCount();
   }
 
  private:
   void onContact(int id);
+  void expiryTick();
   [[nodiscard]] geom::Point2 myPos() { return world_.positionOf(self_); }
 
   net::World& world_;

@@ -136,6 +136,56 @@ std::vector<ScenarioConfig> overloadConfigs() {
   return out;
 }
 
+/// 12 seeded adversarial configurations: misbehaving-node populations
+/// (blackhole / greyhole / selfish / flapping) over GLR (with and without
+/// the recovery sublayer), Epidemic and Spray-and-Wait, some with a bundle
+/// TTL. A separate corpus (own RNG) so the earlier draw sequences stay
+/// pinned. The adversary mix is chosen structurally per index so every
+/// misbehavior class is guaranteed to appear in the corpus.
+std::vector<ScenarioConfig> adversarialConfigs() {
+  constexpr Protocol kProtocols[] = {Protocol::kGlr, Protocol::kEpidemic,
+                                     Protocol::kSprayAndWait};
+  Rng rng{0xAD5EED5ULL};
+  std::vector<ScenarioConfig> out;
+  for (int i = 0; i < 12; ++i) {
+    ScenarioConfig cfg;
+    cfg.protocol = kProtocols[i % 3];
+    cfg.numNodes = 20 + static_cast<int>(rng.below(10));
+    cfg.trafficNodes = cfg.numNodes - 2;
+    cfg.radius = 110.0 + rng.uniform(0.0, 60.0);
+    cfg.simTime = 100.0 + rng.uniform(0.0, 60.0);
+    cfg.numMessages = 40 + static_cast<int>(rng.below(40));
+    cfg.messageInterval = 0.5;
+    cfg.faults.enabled = true;
+    auto& adv = cfg.faults.params.adversary;
+    switch (i % 4) {
+      case 0:
+        adv.blackholeFraction = 0.25;
+        break;
+      case 1:
+        adv.greyholeFraction = 0.3;
+        adv.greyholeDropProb = 0.6;
+        break;
+      case 2:
+        adv.selfishFraction = 0.3;
+        break;
+      case 3:
+        adv.blackholeFraction = 0.15;
+        adv.flappingFraction = 0.2;
+        adv.flapUpMean = 15.0;
+        adv.flapDownMean = 5.0;
+        break;
+    }
+    // GLR cells past the first arm the recovery sublayer, so the corpus
+    // holds both plain and recovering GLR under the same attack classes.
+    if (cfg.protocol == Protocol::kGlr && i >= 3) cfg.glrRecovery = true;
+    if (i >= 8) cfg.messageTtl = 45.0;
+    cfg.seed = 9000 + static_cast<std::uint64_t>(i);
+    out.push_back(cfg);
+  }
+  return out;
+}
+
 /// The invariant battery. Every law here must hold for any (config, result)
 /// pair the engine can produce; a failure is a real bug, not a flaky test.
 void checkInvariants(const ScenarioConfig& cfg, const ScenarioResult& r,
@@ -194,9 +244,11 @@ void checkInvariants(const ScenarioConfig& cfg, const ScenarioResult& r,
   EXPECT_LE(r.glrDataReceived, r.glrDataSent);
 
   // Churn accounting: a radio that nothing duty-cycles (no churn, no
-  // stuck-node stalls) never drops for being down.
+  // stuck-node stalls, no flapping adversaries) never drops for being down.
   if (!cfg.churn.enabled &&
-      !(cfg.faults.enabled && cfg.faults.params.stallRate > 0.0)) {
+      !(cfg.faults.enabled &&
+        (cfg.faults.params.stallRate > 0.0 ||
+         cfg.faults.params.adversary.flappingFraction > 0.0))) {
     EXPECT_EQ(r.macRadioDownDrops, 0u);
   }
 
@@ -212,6 +264,45 @@ void checkInvariants(const ScenarioConfig& cfg, const ScenarioResult& r,
   if (cfg.storageLimit == kUnlimitedStorage) {
     EXPECT_EQ(r.bufferEvictions, 0u);
   }
+
+  // Adversarial accounting: each misbehavior counter is zero exactly when
+  // its node class is absent, the GLR recovery counters are zero unless the
+  // knob is armed, and TTL-less runs never expire a bundle.
+  const auto& adv = cfg.faults.params.adversary;
+  const bool advOn = cfg.faults.enabled;
+  if (!advOn || adv.blackholeFraction == 0.0) {
+    EXPECT_EQ(r.advBlackholeDrops, 0u);
+  }
+  if (!advOn || adv.greyholeFraction == 0.0) {
+    EXPECT_EQ(r.advGreyholeDrops, 0u);
+  }
+  if (!advOn || adv.selfishFraction == 0.0) {
+    EXPECT_EQ(r.advSelfishRefusals, 0u);
+  }
+  if (!advOn || adv.flappingFraction == 0.0) {
+    EXPECT_EQ(r.advFlapTransitions, 0u);
+  }
+  if (!cfg.glrRecovery) {
+    EXPECT_EQ(r.glrSuspicionsRaised, 0u);
+    EXPECT_EQ(r.glrSuspectSkips, 0u);
+    EXPECT_EQ(r.glrRecoveryActivations, 0u);
+    EXPECT_EQ(r.glrRecoverySprays, 0u);
+  }
+  if (cfg.messageTtl == 0.0) {
+    EXPECT_EQ(r.expiredDrops, 0u);
+  }
+
+  // Conservation with counted losses: every created message is delivered,
+  // still buffered at some agent, still sitting in a MAC queue, or
+  // accounted by a counted drop — adversarial discards included. Equality
+  // is impossible under replication (the right side counts copies), but a
+  // message may never vanish without a counter moving.
+  const std::uint64_t countedDrops =
+      r.advBlackholeDrops + r.advGreyholeDrops + r.advSelfishRefusals +
+      r.bufferEvictions + r.expiredDrops + r.macQueueDrops + r.macRetryDrops +
+      r.macRadioDownDrops;
+  EXPECT_LE(r.created,
+            r.delivered + r.bufferedAtEnd + r.macQueueAtEnd + countedDrops);
 
   // Run health: something actually executed, and the clock stayed sane
   // (every mobility model throws on a backwards query, so a kernel that
@@ -295,6 +386,58 @@ TEST(InvariantFuzz, OverloadAndFaultLawsHoldAtAnyThreadCount) {
   for (std::size_t i = 0; i < base.size(); ++i) {
     EXPECT_TRUE(bitIdenticalIgnoringWall(base[i], parallel[i]))
         << "overload cell " << i << " diverged across thread counts";
+  }
+}
+
+TEST(InvariantFuzz, AdversarialLawsHoldAtAnyThreadCount) {
+  const std::vector<ScenarioConfig> cells = adversarialConfigs();
+
+  SweepRunner::Options serialOpts;
+  serialOpts.threads = 1;
+  SweepRunner serial{serialOpts};
+  const std::vector<ScenarioResult> base = serial.runCells(cells);
+
+  ASSERT_EQ(base.size(), cells.size());
+  std::uint64_t blackholeDrops = 0;
+  std::uint64_t greyholeDrops = 0;
+  std::uint64_t selfishRefusals = 0;
+  std::uint64_t flapTransitions = 0;
+  std::uint64_t suspicions = 0;
+  std::uint64_t sprays = 0;
+  std::uint64_t expiries = 0;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    checkInvariants(cells[i], base[i], static_cast<int>(i));
+    blackholeDrops += base[i].advBlackholeDrops;
+    greyholeDrops += base[i].advGreyholeDrops;
+    selfishRefusals += base[i].advSelfishRefusals;
+    flapTransitions += base[i].advFlapTransitions;
+    suspicions += base[i].glrSuspicionsRaised;
+    sprays += base[i].glrRecoverySprays;
+    expiries += base[i].expiredDrops;
+  }
+  // Every misbehavior class and every recovery reaction must actually bite
+  // somewhere in the corpus — a corpus whose blackholes never swallow a
+  // frame (or whose recovery never sprays) is not exercising the feature,
+  // and the laws above were checked in a vacuum.
+  EXPECT_GT(blackholeDrops, 0u);
+  EXPECT_GT(greyholeDrops, 0u);
+  EXPECT_GT(selfishRefusals, 0u);
+  EXPECT_GT(flapTransitions, 0u);
+  EXPECT_GT(suspicions, 0u);
+  EXPECT_GT(sprays, 0u);
+  EXPECT_GT(expiries, 0u);
+
+  // Determinism under attack: adversary assignment, greyhole draws, flap
+  // schedules, suspicion verdicts and recovery sprays must all land
+  // bit-identically on a 3-thread pool.
+  SweepRunner::Options poolOpts;
+  poolOpts.threads = 3;
+  SweepRunner pool{poolOpts};
+  const std::vector<ScenarioResult> parallel = pool.runCells(cells);
+  ASSERT_EQ(parallel.size(), base.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_TRUE(bitIdenticalIgnoringWall(base[i], parallel[i]))
+        << "adversarial cell " << i << " diverged across thread counts";
   }
 }
 
