@@ -24,8 +24,16 @@
 /// builder scratch already warm — the number CI pins with --max-allocs to
 /// catch allocation regressions on the hot path).
 ///
+/// A fourth cell reruns the golden scenario with the flight recorder on
+/// (ScenarioConfig::tracePath set): it reports the tracing overhead
+/// relative to the tracing-off golden, pins that observation does not
+/// perturb the result (bit-identical modulo traceEventsRecorded), and
+/// carries its own allocation budget — the recorder may allocate its fixed
+/// setup (ring, stdio buffer, writer thread) but nothing per event.
+///
 /// Usage: bench_hotpath [--quick] [--out FILE.json] [--max-allocs N]
-///                      [--max-allocs-sat N]
+///                      [--max-allocs-sat N] [--max-allocs-trace N]
+///                      [--max-trace-overhead PCT]
 ///   --quick       CI mode: scaled-down scenarios, 2 repeats (the second,
 ///                 warm repeat is what --max-allocs measures).
 ///   --out         machine-readable results (default BENCH_hotpath.json).
@@ -35,6 +43,12 @@
 ///                 allocation regression on the overload paths (refusal
 ///                 acks, backoff requeues, evictions) cannot hide behind
 ///                 the lightly-loaded golden scenario (0 disables).
+///   --max-allocs-trace  budget gate for the warm tracing-on golden run
+///                 (0 disables). Should sit a small constant above
+///                 --max-allocs: the gap is the recorder's fixed setup.
+///   --max-trace-overhead  exit nonzero if tracing-on wall time exceeds
+///                 tracing-off by more than PCT percent (0 disables; use
+///                 on quiet machines — wall ratios are noisy in CI).
 
 #include <chrono>
 #include <cstdio>
@@ -156,6 +170,8 @@ int main(int argc, char** argv) {
   bool quick = false;
   long long maxAllocs = 0;
   long long maxAllocsSat = 0;
+  long long maxAllocsTrace = 0;
+  double maxTraceOverheadPct = 0.0;
   std::string outPath = "BENCH_hotpath.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
@@ -166,10 +182,17 @@ int main(int argc, char** argv) {
       maxAllocs = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--max-allocs-sat") == 0 && i + 1 < argc) {
       maxAllocsSat = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-allocs-trace") == 0 &&
+               i + 1 < argc) {
+      maxAllocsTrace = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-trace-overhead") == 0 &&
+               i + 1 < argc) {
+      maxTraceOverheadPct = std::atof(argv[++i]);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--out FILE] [--max-allocs N] "
-                   "[--max-allocs-sat N]\n",
+                   "[--max-allocs-sat N] [--max-allocs-trace N] "
+                   "[--max-trace-overhead PCT]\n",
                    argv[0]);
       return 2;
     }
@@ -203,6 +226,33 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(worst.result.eventsExecuted),
       worst.bestWall, worst.mevPerS, worst.warmAllocs);
 
+  // Tracing-on golden: same scenario with the flight recorder armed. The
+  // trace file lands next to the JSON and is removed afterwards — the cell
+  // measures recording cost, not disk archaeology.
+  const std::string tracePath = "bench_hotpath_trace.bin";
+  ScenarioConfig tracedCfg = goldenConfig(quick);
+  tracedCfg.tracePath = tracePath;
+  const auto traced = timeScenario(tracedCfg, repeats);
+  std::remove(tracePath.c_str());
+  {
+    ScenarioResult masked = traced.result;
+    masked.traceEventsRecorded = 0;
+    if (!bitIdenticalIgnoringWall(masked, golden.result)) {
+      std::fprintf(stderr,
+                   "bench_hotpath: tracing-on golden diverged from "
+                   "tracing-off — observation perturbed the simulation\n");
+      return 1;
+    }
+  }
+  const double traceOverheadPct =
+      (traced.bestWall / golden.bestWall - 1.0) * 100.0;
+  std::printf(
+      "traced   golden + flight recorder: %llu events, %llu records, "
+      "best %.3f s (overhead %+.1f%%), %.3f Mev/s, warm-run allocs %lld\n",
+      static_cast<unsigned long long>(traced.result.eventsExecuted),
+      static_cast<unsigned long long>(traced.result.traceEventsRecorded),
+      traced.bestWall, traceOverheadPct, traced.mevPerS, traced.warmAllocs);
+
   const auto sat = timeScenario(saturatedConfig(quick), repeats);
   std::printf(
       "sat      glr+ctl/poisson-%.0fmsg-s: %llu events, %zu offered, "
@@ -230,6 +280,20 @@ int main(int argc, char** argv) {
                  sat.warmAllocs, maxAllocsSat);
     return 1;
   }
+  if (maxAllocsTrace > 0 && traced.warmAllocs > maxAllocsTrace) {
+    std::fprintf(stderr,
+                 "bench_hotpath: warm tracing-on run allocated %lld times, "
+                 "budget is %lld — the record() path must not allocate\n",
+                 traced.warmAllocs, maxAllocsTrace);
+    return 1;
+  }
+  if (maxTraceOverheadPct > 0.0 && traceOverheadPct > maxTraceOverheadPct) {
+    std::fprintf(stderr,
+                 "bench_hotpath: tracing overhead %.1f%% exceeds the "
+                 "%.1f%% budget\n",
+                 traceOverheadPct, maxTraceOverheadPct);
+    return 1;
+  }
 
   FILE* out = std::fopen(outPath.c_str(), "w");
   if (out == nullptr) {
@@ -254,6 +318,16 @@ int main(int argc, char** argv) {
                "\"warm_run_allocs\": %lld},\n",
                static_cast<unsigned long long>(worst.result.eventsExecuted),
                worst.bestWall, worst.mevPerS, worst.warmAllocs);
+  std::fprintf(out,
+               "  \"traced_golden\": {\"scenario\": \"golden + flight "
+               "recorder\", \"events\": %llu, \"trace_records\": %llu, "
+               "\"best_wall_seconds\": %.3f, \"overhead_pct\": %.1f, "
+               "\"mev_per_s\": %.3f, \"warm_run_allocs\": %lld},\n",
+               static_cast<unsigned long long>(traced.result.eventsExecuted),
+               static_cast<unsigned long long>(
+                   traced.result.traceEventsRecorded),
+               traced.bestWall, traceOverheadPct, traced.mevPerS,
+               traced.warmAllocs);
   std::fprintf(out,
                "  \"saturated\": {\"cell\": \"GLR+ctl/poisson-%.0fmsg-s\", "
                "\"events\": %llu, \"offered\": %zu, \"send_rejects\": %llu, "

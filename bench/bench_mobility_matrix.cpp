@@ -16,7 +16,9 @@
 ///   --out    machine-readable results (default BENCH_mobility.json).
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -141,6 +143,45 @@ int main(int argc, char** argv) {
     std::printf("determinism: 1-thread and 2-thread matrices bit-identical "
                 "(%zu cells)\n\n",
                 grid.size() * serial.front().size());
+
+    // Per-cell event-count pins (seed 0). If any cell executes a different
+    // number of events than when the pins were baked, the scenario being
+    // measured changed — delivery/latency shifts in that cell are not
+    // comparable until the pins are regenerated (GLR_QUICK_PIN_DUMP=1).
+    static constexpr std::uint64_t kQuickEventPins[] = {
+        160656, 137903, 93340,  155315, 131228, 87729,
+        106162, 153236, 102237, 118186, 146995, 97502,
+        153186, 136279, 94833,  155961, 129197, 91392,
+        104843, 169694, 103491, 97269,  166528, 96872,
+    };
+    static_assert(std::size(kQuickEventPins) == 24,
+                  "one pin per quick matrix cell");
+    if (std::getenv("GLR_QUICK_PIN_DUMP") != nullptr) {
+      std::printf("kQuickEventPins = {");
+      for (const auto& cell : results) {
+        std::printf("%llu, ",
+                    static_cast<unsigned long long>(
+                        cell.front().eventsExecuted));
+      }
+      std::printf("}\n\n");
+    } else if (grid.size() == std::size(kQuickEventPins)) {
+      for (std::size_t g = 0; g < grid.size(); ++g) {
+        if (results[g][0].eventsExecuted != kQuickEventPins[g]) {
+          std::fprintf(stderr,
+                       "FATAL: cell %zu (%s/%s/%s) executed %llu events, "
+                       "pinned %llu — the measured scenario changed\n",
+                       g, protocolName(cells[g].protocol),
+                       cells[g].mobility.c_str(), cells[g].churn.c_str(),
+                       static_cast<unsigned long long>(
+                           results[g][0].eventsExecuted),
+                       static_cast<unsigned long long>(kQuickEventPins[g]));
+          return 1;
+        }
+      }
+      std::printf("event pins: all %zu quick cells match the baked "
+                  "event counts\n\n",
+                  grid.size());
+    }
   }
 
   std::printf("%-13s %-13s %-9s %10s %12s %10s %12s\n", "protocol",

@@ -6,6 +6,7 @@
 #include "core/face.hpp"
 #include "core/trees.hpp"
 #include "net/faults.hpp"
+#include "trace/recorder.hpp"
 #include "spanner/ldtg.hpp"
 
 namespace glr::core {
@@ -27,6 +28,7 @@ GlrAgent::GlrAgent(net::World& world, int self,
       neighbors_(world.sim(), world.macOf(self), self,
                  [this] { return myPos(); }, params_->hello, rng.fork(1)),
       buffer_(params_->storageLimit, params_->expectedBufferedCopies) {
+  buffer_.setTrace(world_.trace(), self_);
   neighbors_.setLocationSampleCallback(
       [this](int id, geom::Point2 pos, sim::SimTime at) {
         locations_.update(id, pos, at);
@@ -105,7 +107,7 @@ void GlrAgent::originate(int dstNode) {
       break;
   }
 
-  if (metrics_ != nullptr) metrics_->onCreated(base.id, base.created);
+  if (metrics_ != nullptr) metrics_->onCreated(base);
   for (const dtn::TreeFlag flag : flags) {
     dtn::Message copy = base;
     copy.flag = flag;
@@ -343,7 +345,13 @@ void GlrAgent::sendCustodyAck(const dtn::CopyKey& key, int to, int attempt,
   ack.bytes = params_->custodyAckBytes;
   ack.payload = net::Payload::of(CustodyAck{key, accepted});
   if (world_.macOf(self_).send(std::move(ack), to)) {
-    if (accepted) ++counters_.custodyAcksSent;
+    if (accepted) {
+      ++counters_.custodyAcksSent;
+      if (trace::Recorder* t = world_.trace()) {
+        t->record(trace::EventType::kCustodyAccept, self_, to, key.id.src,
+                  key.id.seq, 0, static_cast<std::uint8_t>(key.flag));
+      }
+    }
     return;
   }
   // Interface queue full: a lost custody ack forks the copy at the sender,
@@ -400,7 +408,13 @@ void GlrAgent::noteCustodyFailure(int hop) {
     const sim::SimTime now = world_.sim().now();
     // Count only fresh verdicts; failures while already suspect (in-flight
     // custody rounds draining) just extend the existing one.
-    if (now >= s.until) ++counters_.suspicionsRaised;
+    if (now >= s.until) {
+      ++counters_.suspicionsRaised;
+      if (trace::Recorder* t = world_.trace()) {
+        t->record(trace::EventType::kSuspicion, self_, hop, -1, -1,
+                  static_cast<std::uint16_t>(s.failures));
+      }
+    }
     s.until = now + params_->suspicionTtl;
   }
 }
@@ -440,6 +454,11 @@ void GlrAgent::attemptRecovery(dtn::Message& m) {
     if (world_.macOf(self_).send(std::move(packet), id)) {
       ++counters_.recoverySprays;
       ++counters_.dataSent;
+      if (trace::Recorder* t = world_.trace()) {
+        t->record(trace::EventType::kSend, self_, id, m.id.src, m.id.seq,
+                  static_cast<std::uint16_t>(m.hops),
+                  static_cast<std::uint8_t>(m.flag));
+      }
       --fanout;
     } else {
       ++counters_.sendRejects;
@@ -501,6 +520,10 @@ bool GlrAgent::sendCopy(const dtn::CopyKey& key, int nextHop) {
     buffer_.erase(key);
   }
   ++counters_.dataSent;
+  if (trace::Recorder* t = world_.trace()) {
+    t->record(trace::EventType::kSend, self_, nextHop, key.id.src,
+              key.id.seq, 0, static_cast<std::uint8_t>(key.flag));
+  }
   return true;
 }
 
@@ -551,6 +574,10 @@ void GlrAgent::handleData(const net::Packet& packet, int fromMac) {
       !buffer_.contains(m.key()) &&
       buffer_.size() >= params_->custodyWatermark) {
     ++counters_.custodyRefusalsSent;
+    if (trace::Recorder* t = world_.trace()) {
+      t->record(trace::EventType::kCustodyRefuse, self_, fromMac, m.id.src,
+                m.id.seq, 0, static_cast<std::uint8_t>(m.flag));
+    }
     sendCustodyAck(m.key(), fromMac, 0, /*accepted=*/false);
     return;
   }
@@ -570,7 +597,7 @@ void GlrAgent::handleData(const net::Packet& packet, int fromMac) {
     if (deliveredHere_.insert(m.id).second) {
       ++counters_.deliveredHere;
       if (metrics_ != nullptr) {
-        metrics_->onDelivered(m.id, world_.sim().now(), m.hops);
+        metrics_->onDelivered(m, world_.sim().now(), m.hops);
       }
     }
     // Delivered branches of the same message still buffered here (we might

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "trace/recorder.hpp"
+
 namespace glr::dtn {
 
 MessageBuffer::MessageBuffer(std::size_t capacity, std::size_t expectedCopies)
@@ -53,18 +55,25 @@ void MessageBuffer::indexCacheErase(std::list<CacheEntry>::iterator it) {
 
 bool MessageBuffer::evictOne() {
   if (!cache_.empty()) {
+    if (trace_ != nullptr) traceDrop(trace::EventType::kDrop, cache_.front().message);
     indexCacheErase(cache_.begin());
     cache_.pop_front();
     ++drops_;
     return true;
   }
   if (!store_.empty()) {
+    if (trace_ != nullptr) traceDrop(trace::EventType::kDrop, store_.front());
     indexStoreErase(store_.begin());
     store_.pop_front();
     ++drops_;
     return true;
   }
   return false;
+}
+
+void MessageBuffer::traceDrop(trace::EventType type, const Message& m) {
+  trace_->record(type, selfNode_, -1, m.id.src, m.id.seq, 0,
+                 static_cast<std::uint8_t>(m.flag));
 }
 
 bool MessageBuffer::addToStore(Message m) {
@@ -198,6 +207,7 @@ std::size_t MessageBuffer::expireDue(sim::SimTime now) {
   std::size_t removed = 0;
   for (auto it = store_.begin(); it != store_.end();) {
     if (it->expiresAt <= now) {
+      if (trace_ != nullptr) traceDrop(trace::EventType::kExpiry, *it);
       indexStoreErase(it);
       it = store_.erase(it);
       ++removed;
@@ -207,6 +217,7 @@ std::size_t MessageBuffer::expireDue(sim::SimTime now) {
   }
   for (auto it = cache_.begin(); it != cache_.end();) {
     if (it->message.expiresAt <= now) {
+      if (trace_ != nullptr) traceDrop(trace::EventType::kExpiry, it->message);
       indexCacheErase(it);
       it = cache_.erase(it);
       ++removed;

@@ -22,6 +22,11 @@
 
 #include "dtn/message.hpp"
 
+namespace glr::trace {
+class Recorder;  // trace/recorder.hpp
+enum class EventType : std::uint8_t;
+}
+
 namespace glr::dtn {
 
 inline constexpr std::size_t kUnlimitedStorage = SIZE_MAX;
@@ -36,6 +41,14 @@ class MessageBuffer {
   /// never buffer a message pay nothing for the hint.
   explicit MessageBuffer(std::size_t capacity = kUnlimitedStorage,
                          std::size_t expectedCopies = 0);
+
+  /// Optional flight recorder: evictions (EventType kDrop) and TTL expiries
+  /// (kExpiry) are traced with `selfNode` as the acting node. Null = off —
+  /// the counted-drop paths then cost exactly one extra branch.
+  void setTrace(trace::Recorder* trace, int selfNode) {
+    trace_ = trace;
+    selfNode_ = selfNode;
+  }
 
   /// Adds a copy to the Store (FIFO tail). Returns false (and changes
   /// nothing) if the same copy is already present in Store or Cache.
@@ -128,6 +141,8 @@ class MessageBuffer {
   void applyReserveHint();
   /// Evicts one message per the paper's policy; false if nothing evictable.
   bool evictOne();
+  /// Emits a kDrop/kExpiry trace record for `m` (caller checks trace_).
+  void traceDrop(trace::EventType type, const Message& m);
 
   /// Index maintenance. The lists stay the source of truth (their FIFO order
   /// drives eviction and iteration determinism); the maps only make key
@@ -148,6 +163,8 @@ class MessageBuffer {
   std::size_t peak_ = 0;
   std::uint64_t drops_ = 0;
   std::uint64_t expired_ = 0;
+  trace::Recorder* trace_ = nullptr;  // owned by the experiment layer
+  int selfNode_ = -1;
   /// Deferred index reserve size; consumed (zeroed) on the first insert.
   std::size_t reserveHint_ = 0;
 };

@@ -140,9 +140,9 @@ void ThreadPool::parallelFor(std::size_t n,
 
 // The comparator below must enumerate every ScenarioResult field except
 // wallSeconds; a field it misses silently escapes the determinism
-// contract. The struct is 42 tightly-packed 8-byte scalars — adding one
+// contract. The struct is 49 tightly-packed 8-byte scalars — adding one
 // trips this assert, which is your cue to extend the comparator.
-static_assert(sizeof(ScenarioResult) == 42 * sizeof(std::uint64_t),
+static_assert(sizeof(ScenarioResult) == 49 * sizeof(std::uint64_t),
               "ScenarioResult changed: update bitIdenticalIgnoringWall");
 
 bool bitIdenticalIgnoringWall(const ScenarioResult& a,
@@ -182,6 +182,11 @@ bool bitIdenticalIgnoringWall(const ScenarioResult& a,
          a.expiredDrops == b.expiredDrops &&
          a.bufferedAtEnd == b.bufferedAtEnd &&
          a.macQueueAtEnd == b.macQueueAtEnd &&
+         a.latencyP50 == b.latencyP50 && a.latencyP90 == b.latencyP90 &&
+         a.latencyP99 == b.latencyP99 && a.latencyMin == b.latencyMin &&
+         a.latencyMax == b.latencyMax &&
+         a.latencyStddev == b.latencyStddev &&
+         a.traceEventsRecorded == b.traceEventsRecorded &&
          a.eventsExecuted == b.eventsExecuted;
 }
 

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "dtn/metrics.hpp"
+#include "experiment/node_export.hpp"
 #include "experiment/runner.hpp"
 #include "experiment/traffic.hpp"
 #include "mobility/mobility.hpp"
@@ -21,7 +22,9 @@
 #include "routing/spray_wait.hpp"
 #include "sim/rng.hpp"
 #include "spanner/ldtg.hpp"
+#include "stats/sketch.hpp"
 #include "stats/summary.hpp"
+#include "trace/recorder.hpp"
 
 namespace glr::experiment {
 
@@ -235,6 +238,18 @@ ScenarioResult runScenario(const ScenarioConfig& cfg) {
                                : mac::Channel::IndexMode::kSnapshot);
   dtn::MetricsCollector metrics;
 
+  // Flight recorder: constructed (and installed on the World) before the
+  // agent loop, because agents and their buffers cache the pointer at
+  // construction. Owns the writer thread; close() below finalizes the file
+  // before counters are harvested.
+  std::unique_ptr<trace::Recorder> recorder;
+  if (!cfg.tracePath.empty()) {
+    recorder = std::make_unique<trace::Recorder>(simulator, cfg.tracePath,
+                                                 cfg.traceRingCapacity);
+    world.setTraceRecorder(recorder.get());
+    metrics.setTrace(recorder.get());
+  }
+
   const mobility::Area area{cfg.areaWidth, cfg.areaHeight};
 
   // Mobility comes from the string-keyed registry. The spec's embedded
@@ -335,11 +350,21 @@ ScenarioResult runScenario(const ScenarioConfig& cfg) {
   simulator.run(cfg.simTime);
 
   ScenarioResult r;
+  if (recorder != nullptr) {
+    recorder->close();
+    r.traceEventsRecorded = recorder->recordsWritten();
+  }
   r.created = metrics.createdCount();
   r.delivered = metrics.deliveredCount();
   r.deliveryRatio = metrics.deliveryRatio();
   r.avgLatency = metrics.avgLatency();
   r.avgHops = metrics.avgHops();
+  r.latencyP50 = metrics.latencySketch().quantile(0.50);
+  r.latencyP90 = metrics.latencySketch().quantile(0.90);
+  r.latencyP99 = metrics.latencySketch().quantile(0.99);
+  r.latencyMin = metrics.latencyMoments().min();
+  r.latencyMax = metrics.latencyMoments().max();
+  r.latencyStddev = metrics.latencyMoments().stddev();
   r.duplicateDeliveries = metrics.duplicateDeliveries();
   r.perturbations = metrics.counter("glr.perturbations");
 
@@ -395,6 +420,11 @@ ScenarioResult runScenario(const ScenarioConfig& cfg) {
   r.airTimeSeconds = world.channel().stats().airTimeSeconds;
   r.faultFrameDrops = world.channel().stats().faultDrops;
   r.eventsExecuted = simulator.eventsExecuted();
+
+  if (!cfg.nodeCountersPath.empty()) {
+    exportNodeCounters(cfg.nodeCountersPath, world, agents);
+  }
+
   r.wallSeconds = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - wallStart)
                       .count();

@@ -168,6 +168,18 @@ struct ScenarioConfig {
   double neighborEvictAfterFactor = 0.0;
   double locationEvictAfter = 0.0;
 
+  // Observability (all off by default — bit-identical goldens, zero-alloc
+  // hot path). tracePath non-empty arms the flight recorder: every
+  // send/delivery/custody/drop/expiry/suspicion event is streamed through a
+  // fixed SPSC ring (traceRingCapacity records, rounded up to a power of
+  // two) to a length-prefixed binary file a writer thread owns — see
+  // trace/recorder.hpp; inspect with tools/trace_inspect. nodeCountersPath
+  // non-empty exports per-node MAC/protocol/storage counters at scenario
+  // end; the format follows the extension (".json" or ".csv").
+  std::string tracePath;
+  std::size_t traceRingCapacity = 1 << 16;
+  std::string nodeCountersPath;
+
   std::uint64_t seed = 1;
 };
 
@@ -236,6 +248,22 @@ struct ScenarioResult {
   std::uint64_t expiredDrops = 0;
   std::uint64_t bufferedAtEnd = 0;
   std::uint64_t macQueueAtEnd = 0;
+
+  // First-delivery latency distribution, read from the online sketches
+  // (stats/sketch.hpp) — bounded memory at any message count. Quantiles are
+  // t-digest estimates (exact below the sketch's buffer size); min/max/
+  // stddev come from the exact streaming moments. All zero when nothing is
+  // delivered.
+  double latencyP50 = 0.0;
+  double latencyP90 = 0.0;
+  double latencyP99 = 0.0;
+  double latencyMin = 0.0;
+  double latencyMax = 0.0;
+  double latencyStddev = 0.0;
+
+  // Observability: flight-recorder records written (0 with tracing off).
+  // Deterministic — a pure function of the simulated event sequence.
+  std::uint64_t traceEventsRecorded = 0;
 
   // Run health.
   std::uint64_t eventsExecuted = 0;

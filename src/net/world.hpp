@@ -14,6 +14,10 @@
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 
+namespace glr::trace {
+class Recorder;  // trace/recorder.hpp
+}
+
 namespace glr::net {
 
 class AdversaryModel;  // net/faults.hpp
@@ -112,6 +116,14 @@ class World {
   void setAdversary(AdversaryModel* adversary) { adversary_ = adversary; }
   [[nodiscard]] AdversaryModel* adversary() { return adversary_; }
 
+  /// Flight recorder (trace/recorder.hpp): installed by the experiment
+  /// layer *before* agents are constructed — agents and their buffers cache
+  /// the pointer at construction. Null (the default) = tracing off; the
+  /// observer pointer keeps world.hpp free of the trace dependency and
+  /// costs one branch per instrumentation point.
+  void setTraceRecorder(trace::Recorder* trace) { trace_ = trace; }
+  [[nodiscard]] trace::Recorder* trace() { return trace_; }
+
   [[nodiscard]] mac::Mac& macOf(int id);
   [[nodiscard]] Agent& agentOf(int id);
   [[nodiscard]] std::size_t numNodes() const { return nodes_.size(); }
@@ -136,6 +148,7 @@ class World {
   double nominalRange_;
   mac::Channel channel_;
   AdversaryModel* adversary_ = nullptr;  // owned by FaultProcess
+  trace::Recorder* trace_ = nullptr;     // owned by the experiment layer
   std::vector<Node> nodes_;
   std::vector<double> nodeRange_;  // per-node override; 0 = shared radio
 

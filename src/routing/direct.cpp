@@ -1,5 +1,7 @@
 #include "routing/direct.hpp"
 
+#include "trace/recorder.hpp"
+
 namespace glr::routing {
 
 DirectDeliveryAgent::DirectDeliveryAgent(net::World& world, int self,
@@ -13,7 +15,9 @@ DirectDeliveryAgent::DirectDeliveryAgent(net::World& world, int self,
       rng_(rng),
       neighbors_(world.sim(), world.macOf(self), self,
                  [this] { return myPos(); }, params.hello, rng.fork(1)),
-      buffer_(params.storageLimit, params.expectedBufferedCopies) {}
+      buffer_(params.storageLimit, params.expectedBufferedCopies) {
+  buffer_.setTrace(world_.trace(), self_);
+}
 
 void DirectDeliveryAgent::start() {
   neighbors_.start();
@@ -28,7 +32,7 @@ void DirectDeliveryAgent::originate(int dstNode) {
   m.dstNode = dstNode;
   m.created = world_.sim().now();
   m.payloadBytes = params_.payloadBytes;
-  if (metrics_ != nullptr) metrics_->onCreated(m.id, m.created);
+  if (metrics_ != nullptr) metrics_->onCreated(m);
   buffer_.addToStore(std::move(m));
 }
 
@@ -46,6 +50,10 @@ void DirectDeliveryAgent::check() {
     // (queue full / radio down) keeps it stored for the next check instead
     // of silently losing the sole copy.
     if (world_.macOf(self_).send(std::move(p), dst)) {
+      if (trace::Recorder* t = world_.trace()) {
+        t->record(trace::EventType::kSend, self_, dst, key.id.src,
+                  key.id.seq);
+      }
       buffer_.erase(key);
       ++dataSent_;
     } else {
@@ -61,7 +69,7 @@ void DirectDeliveryAgent::onPacket(const net::Packet& packet, int fromMac) {
   const auto* pm = packet.payload.get<dtn::Message>();
   if (pm == nullptr || pm->dstNode != self_) return;
   if (deliveredHere_.insert(pm->id).second && metrics_ != nullptr) {
-    metrics_->onDelivered(pm->id, world_.sim().now(), pm->hops + 1);
+    metrics_->onDelivered(*pm, world_.sim().now(), pm->hops + 1);
   }
 }
 

@@ -1,5 +1,7 @@
 #include "routing/epidemic.hpp"
 
+#include "trace/recorder.hpp"
+
 #include "net/faults.hpp"
 
 namespace glr::routing {
@@ -15,6 +17,7 @@ EpidemicAgent::EpidemicAgent(net::World& world, int self,
       neighbors_(world.sim(), world.macOf(self), self,
                  [this] { return myPos(); }, params.hello, rng.fork(1)),
       buffer_(params.storageLimit, params.expectedBufferedCopies) {
+  buffer_.setTrace(world_.trace(), self_);
   neighbors_.setContactCallback(
       [this](int id) { sendSummary(id, /*full=*/true); });
 }
@@ -77,7 +80,7 @@ void EpidemicAgent::originate(int dstNode) {
   m.created = world_.sim().now();
   m.payloadBytes = params_.payloadBytes;
   if (params_.messageTtl > 0.0) m.expiresAt = m.created + params_.messageTtl;
-  if (metrics_ != nullptr) metrics_->onCreated(m.id, m.created);
+  if (metrics_ != nullptr) metrics_->onCreated(m);
   addMessage(std::move(m));
 }
 
@@ -137,6 +140,9 @@ void EpidemicAgent::onPacket(const net::Packet& packet, int fromMac) {
         ++counters_.sendRejects;
       }
       ++counters_.dataSent;
+      if (trace::Recorder* t = world_.trace()) {
+        t->record(trace::EventType::kSend, self_, fromMac, id.src, id.seq);
+      }
     }
     return;
   }
@@ -167,7 +173,7 @@ void EpidemicAgent::onPacket(const net::Packet& packet, int fromMac) {
       deliveredHere_.insert(m.id);
       ++counters_.deliveredHere;
       if (metrics_ != nullptr) {
-        metrics_->onDelivered(m.id, world_.sim().now(), m.hops);
+        metrics_->onDelivered(m, world_.sim().now(), m.hops);
       }
       // The destination keeps the message buffered (epidemic never clears),
       // which also stops neighbors from re-sending it here.

@@ -1,5 +1,7 @@
 #include "routing/spray_wait.hpp"
 
+#include "trace/recorder.hpp"
+
 #include "net/faults.hpp"
 
 namespace glr::routing {
@@ -15,6 +17,7 @@ SprayWaitAgent::SprayWaitAgent(net::World& world, int self,
       neighbors_(world.sim(), world.macOf(self), self,
                  [this] { return myPos(); }, params.hello, rng.fork(1)),
       buffer_(params.storageLimit, params.expectedBufferedCopies) {
+  buffer_.setTrace(world_.trace(), self_);
   neighbors_.setContactCallback([this](int id) { onContact(id); });
 }
 
@@ -50,7 +53,7 @@ void SprayWaitAgent::originate(int dstNode) {
   m.created = world_.sim().now();
   m.payloadBytes = params_.payloadBytes;
   if (params_.messageTtl > 0.0) m.expiresAt = m.created + params_.messageTtl;
-  if (metrics_ != nullptr) metrics_->onCreated(m.id, m.created);
+  if (metrics_ != nullptr) metrics_->onCreated(m);
   budget_[m.id] = params_.copyBudget;
   buffer_.addToStore(std::move(m));
   // Offer immediately to whoever is already around (a fresh message would
@@ -120,6 +123,9 @@ void SprayWaitAgent::onPacket(const net::Packet& packet, int fromMac) {
       p.payload = net::Payload::of(out);
       if (world_.macOf(self_).send(std::move(p), fromMac)) {
         ++dataSent_;
+        if (trace::Recorder* t = world_.trace()) {
+          t->record(trace::EventType::kSend, self_, fromMac, id.src, id.seq);
+        }
       } else {
         ++sendRejects_;
       }
@@ -153,7 +159,7 @@ void SprayWaitAgent::onPacket(const net::Packet& packet, int fromMac) {
     }
     if (m.dstNode == self_) {
       if (deliveredHere_.insert(m.id).second && metrics_ != nullptr) {
-        metrics_->onDelivered(m.id, world_.sim().now(), m.hops);
+        metrics_->onDelivered(m, world_.sim().now(), m.hops);
       }
       return;
     }

@@ -1,0 +1,118 @@
+#include "trace/reader.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+namespace glr::trace {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw std::runtime_error("trace '" + path + "': " + what);
+}
+
+}  // namespace
+
+std::vector<Record> readTraceFile(const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (!file) fail(path, "cannot open for reading");
+
+  FileHeader header;
+  if (std::fread(&header, sizeof(header), 1, file.get()) != 1) {
+    fail(path, "short file: header missing");
+  }
+  if (header.magic != FileHeader{}.magic) fail(path, "bad magic");
+  if (header.version != 1) {
+    fail(path, "unsupported version " + std::to_string(header.version));
+  }
+  if (header.recordSize != sizeof(Record)) {
+    fail(path,
+         "unsupported record size " + std::to_string(header.recordSize));
+  }
+  if (header.recordCount == ~std::uint64_t{0}) {
+    fail(path, "unfinalized trace (writer never closed — truncated run?)");
+  }
+
+  std::vector<Record> records;
+  records.reserve(header.recordCount);
+  for (std::uint64_t i = 0; i < header.recordCount; ++i) {
+    std::uint32_t len = 0;
+    if (std::fread(&len, sizeof(len), 1, file.get()) != 1) {
+      fail(path, "truncated: " + std::to_string(i) + " of " +
+                     std::to_string(header.recordCount) + " records present");
+    }
+    if (len != sizeof(Record)) {
+      fail(path, "corrupt record " + std::to_string(i) +
+                     ": length prefix " + std::to_string(len) +
+                     " (expected " + std::to_string(sizeof(Record)) + ")");
+    }
+    Record r;
+    if (std::fread(&r, sizeof(r), 1, file.get()) != 1) {
+      fail(path, "truncated mid-record at index " + std::to_string(i));
+    }
+    if (r.type < static_cast<std::uint8_t>(EventType::kCreated) ||
+        r.type > static_cast<std::uint8_t>(EventType::kSuspicion)) {
+      fail(path, "corrupt record " + std::to_string(i) + ": unknown type " +
+                     std::to_string(r.type));
+    }
+    records.push_back(r);
+  }
+  // Trailing garbage after the declared records is also a structural error.
+  char extra = 0;
+  if (std::fread(&extra, 1, 1, file.get()) == 1) {
+    fail(path, "trailing bytes after declared record count");
+  }
+  return records;
+}
+
+ReplayTotals replayTotals(const std::vector<Record>& records) {
+  ReplayTotals t;
+  for (const Record& r : records) {
+    switch (static_cast<EventType>(r.type)) {
+      case EventType::kCreated: ++t.created; break;
+      case EventType::kSend: ++t.sends; break;
+      case EventType::kDelivered: ++t.delivered; break;
+      case EventType::kDuplicate: ++t.duplicates; break;
+      case EventType::kCustodyAccept: ++t.custodyAccepts; break;
+      case EventType::kCustodyRefuse: ++t.custodyRefusals; break;
+      case EventType::kDrop: ++t.drops; break;
+      case EventType::kExpiry: ++t.expiries; break;
+      case EventType::kSuspicion: ++t.suspicions; break;
+    }
+  }
+  return t;
+}
+
+std::vector<Record> messageTimeline(const std::vector<Record>& records,
+                                    std::int32_t src, std::int32_t seq) {
+  std::vector<Record> out;
+  for (const Record& r : records) {
+    if (r.msgSrc == src && r.msgSeq == seq) out.push_back(r);
+  }
+  return out;
+}
+
+const char* eventTypeName(std::uint8_t type) {
+  switch (static_cast<EventType>(type)) {
+    case EventType::kCreated: return "created";
+    case EventType::kSend: return "send";
+    case EventType::kDelivered: return "delivered";
+    case EventType::kDuplicate: return "duplicate";
+    case EventType::kCustodyAccept: return "custody-accept";
+    case EventType::kCustodyRefuse: return "custody-refuse";
+    case EventType::kDrop: return "drop";
+    case EventType::kExpiry: return "expiry";
+    case EventType::kSuspicion: return "suspicion";
+  }
+  return "unknown";
+}
+
+}  // namespace glr::trace

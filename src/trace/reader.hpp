@@ -1,0 +1,59 @@
+#pragma once
+/// \file reader.hpp
+/// Trace file reader + replay helpers shared by tests and trace_inspect.
+///
+/// File format (little-endian, host == x86-64/aarch64 Linux):
+///   [FileHeader: 24 bytes]   magic 'GLRT', version 1, recordSize 32,
+///                            recordCount (patched on finalize; ~0 while
+///                            the writer is live => truncated), reserved
+///   recordCount times:
+///     [u32 length == 32][Record: 32 bytes]
+///
+/// The per-record length prefix is deliberately redundant with
+/// header.recordSize: it turns a torn or corrupted record into a local,
+/// detectable error instead of silently desynchronising the rest of the
+/// stream. readTraceFile() throws std::runtime_error with a specific
+/// message on bad magic, unsupported version/record size, an unfinalized
+/// count, a length-prefix mismatch, or a short final record.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/recorder.hpp"
+
+namespace glr::trace {
+
+/// Reads and validates a finalized trace file. Throws std::runtime_error
+/// describing the first structural problem found.
+std::vector<Record> readTraceFile(const std::string& path);
+
+/// Counter totals reconstructed from a trace, mirroring the live
+/// ScenarioResult fields the round-trip differential pins.
+struct ReplayTotals {
+  std::uint64_t created = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t sends = 0;
+  std::uint64_t custodyAccepts = 0;
+  std::uint64_t custodyRefusals = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t expiries = 0;
+  std::uint64_t suspicions = 0;
+};
+
+ReplayTotals replayTotals(const std::vector<Record>& records);
+
+/// One hop-timeline step of a single message, in record order.
+struct TimelineEntry {
+  Record record;
+};
+
+/// All events touching message (src, seq), in file (== sim event) order.
+std::vector<Record> messageTimeline(const std::vector<Record>& records,
+                                    std::int32_t src, std::int32_t seq);
+
+/// Human-readable name of an event type ("send", "delivered", ...).
+const char* eventTypeName(std::uint8_t type);
+
+}  // namespace glr::trace

@@ -1,0 +1,135 @@
+#pragma once
+/// \file recorder.hpp
+/// Flight recorder: a fixed-capacity SPSC ring of trivially-copyable binary
+/// event records drained by a dedicated writer thread (after ndn-dpdk's
+/// pdump writer).
+///
+/// The simulation thread is the single producer: agents and the message
+/// buffer call Recorder::record() at instrumentation points (send, deliver,
+/// custody accept/refuse, drop, expiry, suspicion). The single consumer is
+/// a writer thread that drains the ring to a length-prefixed binary file
+/// (format spec in reader.hpp). Tracing is default-off: a null
+/// `trace::Recorder*` on World costs the hot path exactly one branch per
+/// instrumentation point, so all pinned goldens stay bit-identical and the
+/// zero-allocation pin holds. With tracing on, record() copies 32 bytes
+/// into pre-reserved ring storage — still allocation-free; only the writer
+/// thread touches the filesystem.
+///
+/// Lossless by design: when the ring is momentarily full the producer spins
+/// (yielding) until the writer frees a slot, counting the stall instead of
+/// dropping the record. That keeps trace replay *exact* — the round-trip
+/// differential test reconstructs delivery/drop/custody totals from the
+/// file and they must equal the live ScenarioResult — at the price of
+/// back-pressure on a slow disk, which is the right trade for a diagnostic
+/// artifact. recordsWritten() is therefore deterministic; producerStalls()
+/// is wall-clock-dependent and never folded into pinned results.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace glr::trace {
+
+/// What happened. Values are part of the on-disk format — append only.
+enum class EventType : std::uint8_t {
+  kCreated = 1,        // origin stamped a new message
+  kSend = 2,           // a copy left a node toward `peer`
+  kDelivered = 3,      // first copy reached the destination
+  kDuplicate = 4,      // a later copy reached the destination
+  kCustodyAccept = 5,  // node accepted custody (ACK sent)
+  kCustodyRefuse = 6,  // node refused custody (NACK sent)
+  kDrop = 7,           // buffer eviction (capacity pressure)
+  kExpiry = 8,         // TTL expiry swept from a buffer
+  kSuspicion = 9,      // custody-failure detector raised a fresh verdict
+};
+
+/// One trace event: fixed 32 bytes, trivially copyable, written verbatim.
+struct Record {
+  double time = 0.0;       // sim time the event was recorded at
+  std::int32_t node = -1;  // acting node (holder/origin/destination)
+  std::int32_t peer = -1;  // counterpart (next hop, custodian, ...) or -1
+  std::int32_t msgSrc = -1;
+  std::int32_t msgSeq = -1;
+  std::uint16_t aux = 0;  // event-specific: hop count, reason code
+  std::uint8_t type = 0;  // EventType
+  std::uint8_t flag = 0;  // dtn::TreeFlag of the copy (0 = none)
+  std::uint32_t pad = 0;  // explicit so the on-disk bytes are deterministic
+};
+static_assert(sizeof(Record) == 32, "trace records are a fixed 32 bytes");
+static_assert(std::is_trivially_copyable_v<Record>);
+
+/// On-disk header, written at offset 0. `recordCount` is ~0 while the file
+/// is open and patched to the true count on finalize, so a crash mid-run
+/// leaves a detectably-truncated file.
+struct FileHeader {
+  std::uint32_t magic = 0x54524C47;  // "GLRT" little-endian
+  std::uint16_t version = 1;
+  std::uint16_t recordSize = sizeof(Record);
+  std::uint64_t recordCount = ~std::uint64_t{0};
+  std::uint64_t reserved = 0;
+};
+static_assert(sizeof(FileHeader) == 24);
+
+class Recorder {
+ public:
+  /// Opens `path` and starts the writer thread. `ringCapacity` is rounded
+  /// up to a power of two. Throws std::runtime_error if the file cannot be
+  /// opened.
+  Recorder(sim::Simulator& sim, const std::string& path,
+           std::size_t ringCapacity);
+  ~Recorder();
+
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  /// Records one event stamped at the current sim time. Producer side of
+  /// the SPSC ring: wait-free unless the ring is full, never allocates,
+  /// never drops. Single-producer contract: only the simulation thread.
+  void record(EventType type, std::int32_t node, std::int32_t peer,
+              std::int32_t msgSrc, std::int32_t msgSeq, std::uint16_t aux = 0,
+              std::uint8_t flag = 0) noexcept;
+
+  /// Drains the ring, joins the writer thread, patches the header's record
+  /// count and closes the file. Idempotent; also run by the destructor.
+  void close();
+
+  /// Events recorded so far (== records in the file after close()).
+  /// Deterministic: a pure function of the simulated event sequence.
+  [[nodiscard]] std::uint64_t recordsWritten() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+  /// Times the producer had to wait for the writer (wall-dependent; for
+  /// logs/diagnostics only — never part of a pinned result).
+  [[nodiscard]] std::uint64_t producerStalls() const {
+    return producerStalls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void writerLoop();
+  /// Writes records [from, to) (absolute indices) to the file.
+  void writeRange(std::uint64_t from, std::uint64_t to);
+
+  sim::Simulator& sim_;
+  std::vector<Record> ring_;
+  std::vector<unsigned char> chunk_;  // writer-side batch-assembly scratch
+  std::size_t mask_;
+  std::FILE* file_ = nullptr;
+
+  // Absolute (non-wrapped) indices; slot = index & mask_.
+  // head_: next slot the producer writes. tail_: next slot the writer
+  // reads. Producer owns head_, writer owns tail_.
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> tail_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> producerStalls_{0};
+  std::thread writer_;
+  bool closed_ = false;
+};
+
+}  // namespace glr::trace

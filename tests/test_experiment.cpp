@@ -129,22 +129,34 @@ TEST(Scenario, ProtocolNames) {
 }
 
 TEST(Metrics, DeliveryBookkeeping) {
+  const auto msg = [](int src, int seq, double created) {
+    glr::dtn::Message m;
+    m.id = {src, seq};
+    m.srcNode = src;
+    m.created = created;
+    return m;
+  };
   MetricsCollector m;
-  m.onCreated({1, 1}, 10.0);
-  m.onCreated({1, 2}, 11.0);
-  m.onDelivered({1, 1}, 30.0, 4);
+  m.onCreated(msg(1, 1, 10.0));
+  m.onCreated(msg(1, 2, 11.0));
+  m.onDelivered(msg(1, 1, 10.0), 30.0, 4);
   EXPECT_EQ(m.createdCount(), 2u);
   EXPECT_EQ(m.deliveredCount(), 1u);
   EXPECT_DOUBLE_EQ(m.deliveryRatio(), 0.5);
   EXPECT_DOUBLE_EQ(m.avgLatency(), 20.0);
   EXPECT_DOUBLE_EQ(m.avgHops(), 4.0);
+  // The sketches see the same single latency.
+  EXPECT_EQ(m.latencyMoments().count(), 1u);
+  EXPECT_DOUBLE_EQ(m.latencyMoments().mean(), 20.0);
+  EXPECT_DOUBLE_EQ(m.latencySketch().quantile(0.5), 20.0);
   // Duplicate delivery ignored for aggregates.
-  m.onDelivered({1, 1}, 50.0, 9);
+  m.onDelivered(msg(1, 1, 10.0), 50.0, 9);
   EXPECT_EQ(m.deliveredCount(), 1u);
   EXPECT_EQ(m.duplicateDeliveries(), 1u);
   EXPECT_DOUBLE_EQ(m.avgLatency(), 20.0);
+  EXPECT_EQ(m.latencyMoments().count(), 1u);
   // Unknown message ignored defensively.
-  m.onDelivered({9, 9}, 60.0, 1);
+  m.onDelivered(msg(9, 9, 55.0), 60.0, 1);
   EXPECT_EQ(m.deliveredCount(), 1u);
 }
 

@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "../bench/counting_allocator.hpp"
@@ -178,6 +180,47 @@ TEST(ZeroAllocSteadyState, RepeatScenarioAllocatesLessThanColdRun) {
 
   EXPECT_TRUE(glr::experiment::bitIdenticalIgnoringWall(cold, warm));
   EXPECT_LT(warmAllocs, coldAllocs);
+}
+
+/// Tracing on: the flight recorder allocates only its fixed ring, file
+/// buffer and writer thread at construction — recording hundreds of
+/// thousands of events adds nothing. A warm traced run may therefore
+/// allocate only a small constant more than a warm untraced run, and the
+/// simulation outcome must be untouched by observation.
+TEST(ZeroAllocSteadyState, TracingOnAllocatesOnlyTheFixedRecorderSetup) {
+  glr::experiment::ScenarioConfig cfg;
+  cfg.simTime = 60.0;
+  cfg.numMessages = 30;
+  cfg.numNodes = 30;
+  cfg.trafficNodes = 20;
+  cfg.seed = 7;
+
+  // Warm both paths first so arenas/scratch are steady.
+  (void)glr::experiment::runScenario(cfg);
+  const long long t0 = allocCount();
+  const auto untraced = glr::experiment::runScenario(cfg);
+  const long long untracedAllocs = allocCount() - t0;
+
+  const std::string tracePath = "test_hotpath_trace.bin";
+  cfg.tracePath = tracePath;
+  (void)glr::experiment::runScenario(cfg);
+  const long long t1 = allocCount();
+  auto traced = glr::experiment::runScenario(cfg);
+  const long long tracedAllocs = allocCount() - t1;
+  std::remove(tracePath.c_str());
+
+  EXPECT_GT(traced.traceEventsRecorded, 1000u);
+  // Fixed recorder setup: ring vector, stdio buffer, thread state, path
+  // strings. Generously 256 allocations — but NOT proportional to the
+  // event count, which is what this pin is about.
+  EXPECT_LE(tracedAllocs, untracedAllocs + 256)
+      << "tracing-on run allocated " << tracedAllocs - untracedAllocs
+      << " more than tracing-off; the record() hot path must stay "
+         "allocation-free (pre-reserved SPSC ring)";
+
+  // Observation must not perturb the simulation.
+  traced.traceEventsRecorded = 0;
+  EXPECT_TRUE(glr::experiment::bitIdenticalIgnoringWall(traced, untraced));
 }
 
 }  // namespace

@@ -447,11 +447,14 @@ TEST(InvariantFuzz, AdversarialLawsHoldAtAnyThreadCount) {
 
 TEST(MetricsLaws, NoDuplicateDeliveryPerMessage) {
   MetricsCollector m;
-  glr::dtn::MessageId id{3, 7};
-  m.onCreated(id, 1.0);
-  m.onDelivered(id, 5.0, 2);
-  m.onDelivered(id, 6.0, 4);  // a second copy arrives: duplicate, not delivery
-  m.onDelivered(id, 7.0, 1);
+  glr::dtn::Message msg;
+  msg.id = {3, 7};
+  msg.srcNode = 3;
+  msg.created = 1.0;
+  m.onCreated(msg);
+  m.onDelivered(msg, 5.0, 2);
+  m.onDelivered(msg, 6.0, 4);  // a second copy arrives: duplicate, not delivery
+  m.onDelivered(msg, 7.0, 1);
   EXPECT_EQ(m.deliveredCount(), 1u);
   EXPECT_EQ(m.duplicateDeliveries(), 2u);
   EXPECT_DOUBLE_EQ(m.avgLatency(), 4.0);  // only the first delivery counts
@@ -460,7 +463,10 @@ TEST(MetricsLaws, NoDuplicateDeliveryPerMessage) {
 
 TEST(MetricsLaws, UnknownDeliveriesAreIgnored) {
   MetricsCollector m;
-  m.onDelivered({1, 2}, 5.0, 2);  // never created
+  glr::dtn::Message msg;
+  msg.id = {1, 2};
+  msg.created = 1.0;
+  m.onDelivered(msg, 5.0, 2);  // never created
   EXPECT_EQ(m.deliveredCount(), 0u);
   EXPECT_EQ(m.duplicateDeliveries(), 0u);
   EXPECT_DOUBLE_EQ(m.deliveryRatio(), 0.0);
