@@ -1,0 +1,239 @@
+#pragma once
+/// \file codec.hpp
+/// Binary encode/decode primitives for the checkpoint layer.
+///
+/// Every serialized quantity goes through these two classes so the on-disk
+/// byte layout is uniform (little-endian, fixed-width, doubles as IEEE-754
+/// bit patterns — bit-identical round-trips, never printf/scanf rounding)
+/// and every malformed read fails loudly with context instead of returning
+/// garbage. The unordered-container helpers additionally reproduce *hash
+/// table iteration order*, which several tables expose to the simulation
+/// (e.g. the neighbor table drives hello payload order, which drives LDTG
+/// construction, which drives routing): libstdc++ keeps each bucket's
+/// members contiguous in iteration order, so any reachable order is rebuilt
+/// by rehashing to the saved bucket count and inserting in reverse of the
+/// saved order — and the rebuilt order is then *verified* element by
+/// element, so a standard library where that reasoning fails produces a
+/// loud error at restore time, never silent divergence at run time.
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace glr::ckpt {
+
+/// Append-only byte sink. All integers little-endian fixed-width; doubles
+/// are stored as their bit pattern so restore is bit-identical.
+class Encoder {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) { putLe(v); }
+  void u32(std::uint32_t v) { putLe(v); }
+  void u64(std::uint64_t v) { putLe(v); }
+  void i32(std::int32_t v) { putLe(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { putLe(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { putLe(std::bit_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void size(std::size_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  void str(const std::string& s) {
+    u64(s.size());
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    out_.insert(out_.end(), p, p + n);
+  }
+
+  [[nodiscard]] const std::vector<unsigned char>& data() const { return out_; }
+  [[nodiscard]] std::vector<unsigned char> take() { return std::move(out_); }
+
+ private:
+  template <class T>
+  void putLe(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      out_.push_back(static_cast<unsigned char>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<unsigned char> out_;
+};
+
+/// Bounds-checked reader over a byte span. Every overrun or structural
+/// mismatch throws std::runtime_error prefixed with the decoder's context
+/// (file path + section name), mirroring trace/reader.cpp's discipline.
+class Decoder {
+ public:
+  Decoder(const unsigned char* data, std::size_t size, std::string context)
+      : data_(data), size_(size), context_(std::move(context)) {}
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error{"checkpoint " + context_ + ": " + what +
+                             " (at byte " + std::to_string(pos_) + ")"};
+  }
+
+  std::uint8_t u8() { return take(1)[0]; }
+  std::uint16_t u16() { return getLe<std::uint16_t>(); }
+  std::uint32_t u32() { return getLe<std::uint32_t>(); }
+  std::uint64_t u64() { return getLe<std::uint64_t>(); }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  bool boolean() {
+    const std::uint8_t v = u8();
+    if (v > 1) fail("boolean field holds " + std::to_string(v));
+    return v != 0;
+  }
+  std::size_t size() { return checkedSize(u64(), 0); }
+
+  std::string str() {
+    const std::size_t n = checkedSize(u64(), 1);
+    const unsigned char* p = take(n);
+    return std::string{reinterpret_cast<const char*>(p), n};
+  }
+
+  void bytes(void* dst, std::size_t n) { std::memcpy(dst, take(n), n); }
+
+  /// Validates a serialized element count against the bytes actually left:
+  /// `n` elements of at least `minBytesPer` bytes each must fit. Catches
+  /// corrupted counts before they turn into multi-gigabyte reserves.
+  [[nodiscard]] std::size_t checkedSize(std::uint64_t n,
+                                        std::size_t minBytesPer) {
+    if (minBytesPer != 0 && n > remaining() / minBytesPer) {
+      fail("count " + std::to_string(n) + " overruns section (" +
+           std::to_string(remaining()) + " bytes left)");
+    }
+    if (n > size_) {
+      fail("size field " + std::to_string(n) + " exceeds section size");
+    }
+    return static_cast<std::size_t>(n);
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+
+  /// Restore code calls this after consuming a section: trailing bytes mean
+  /// writer and reader disagree about the layout — refuse loudly.
+  void expectEnd() const {
+    if (pos_ != size_) {
+      fail(std::to_string(size_ - pos_) + " trailing bytes");
+    }
+  }
+
+  [[nodiscard]] const std::string& context() const { return context_; }
+
+ private:
+  const unsigned char* take(std::size_t n) {
+    if (n > remaining()) {
+      fail("truncated: need " + std::to_string(n) + " bytes, have " +
+           std::to_string(remaining()));
+    }
+    const unsigned char* p = data_ + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  template <class T>
+  T getLe() {
+    const unsigned char* p = take(sizeof(T));
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(p[i]) << (8 * i)));
+    }
+    return v;
+  }
+
+  const unsigned char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  std::string context_;
+};
+
+/// Serializes an unordered_map preserving iteration order (see file
+/// comment). `save(e, key, value)` writes one entry.
+template <class K, class V, class H, class Eq, class A, class SaveKV>
+void saveUnorderedMap(Encoder& e, const std::unordered_map<K, V, H, Eq, A>& m,
+                      SaveKV&& save) {
+  e.u64(m.size());
+  e.u64(m.bucket_count());
+  for (const auto& [k, v] : m) save(e, k, v);
+}
+
+/// Rebuilds an unordered_map with the exact saved iteration order, verified.
+/// `load(d)` returns one std::pair<K, V>.
+template <class K, class V, class H, class Eq, class A, class LoadKV>
+void loadUnorderedMap(Decoder& d, std::unordered_map<K, V, H, Eq, A>& m,
+                      LoadKV&& load) {
+  const std::size_t n = d.checkedSize(d.u64(), 1);
+  const auto buckets = static_cast<std::size_t>(d.u64());
+  std::vector<std::pair<K, V>> items;
+  items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) items.push_back(load(d));
+  m.clear();
+  if (m.bucket_count() != buckets) {
+    // rehash() can neither shrink below the policy minimum nor reproduce
+    // the never-inserted single-bucket state, so start from a fresh table
+    // (bucket_count 1) and grow it to the saved count.
+    m = std::unordered_map<K, V, H, Eq, A>{};
+    if (buckets > 1) m.rehash(buckets);
+  }
+  for (auto it = items.rbegin(); it != items.rend(); ++it) m.insert(*it);
+  if (m.size() != items.size()) d.fail("unordered map holds duplicate keys");
+  if (m.bucket_count() != buckets) {
+    d.fail("unordered map bucket count diverged after rebuild");
+  }
+  std::size_t i = 0;
+  for (const auto& [k, v] : m) {
+    static_cast<void>(v);
+    if (!(k == items[i].first)) {
+      d.fail("unordered map iteration order diverged after rebuild");
+    }
+    ++i;
+  }
+}
+
+/// Set variants of the same order-preserving scheme.
+template <class K, class H, class Eq, class A, class SaveK>
+void saveUnorderedSet(Encoder& e, const std::unordered_set<K, H, Eq, A>& s,
+                      SaveK&& save) {
+  e.u64(s.size());
+  e.u64(s.bucket_count());
+  for (const auto& k : s) save(e, k);
+}
+
+template <class K, class H, class Eq, class A, class LoadK>
+void loadUnorderedSet(Decoder& d, std::unordered_set<K, H, Eq, A>& s,
+                      LoadK&& load) {
+  const std::size_t n = d.checkedSize(d.u64(), 1);
+  const auto buckets = static_cast<std::size_t>(d.u64());
+  std::vector<K> items;
+  items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) items.push_back(load(d));
+  s.clear();
+  if (s.bucket_count() != buckets) {
+    // See loadUnorderedMap: a fresh table is the only way back to the
+    // never-inserted single-bucket state.
+    s = std::unordered_set<K, H, Eq, A>{};
+    if (buckets > 1) s.rehash(buckets);
+  }
+  for (auto it = items.rbegin(); it != items.rend(); ++it) s.insert(*it);
+  if (s.size() != items.size()) d.fail("unordered set holds duplicate keys");
+  if (s.bucket_count() != buckets) {
+    d.fail("unordered set bucket count diverged after rebuild");
+  }
+  std::size_t i = 0;
+  for (const auto& k : s) {
+    if (!(k == items[i])) {
+      d.fail("unordered set iteration order diverged after rebuild");
+    }
+    ++i;
+  }
+}
+
+}  // namespace glr::ckpt

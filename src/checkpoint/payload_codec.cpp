@@ -1,0 +1,252 @@
+#include "checkpoint/payload_codec.hpp"
+
+namespace glr::ckpt {
+
+namespace {
+
+/// On-disk payload type tags — append only.
+enum PayloadTag : std::uint8_t {
+  kEmpty = 0,
+  kHello = 1,
+  kMessage = 2,
+  kCustodyAck = 3,
+  kSummaryVector = 4,
+  kRequestVector = 5,
+  kSprayData = 6,
+};
+
+}  // namespace
+
+void savePoint(Encoder& e, const geom::Point2& p) {
+  e.f64(p.x);
+  e.f64(p.y);
+}
+
+geom::Point2 loadPoint(Decoder& d) {
+  geom::Point2 p;
+  p.x = d.f64();
+  p.y = d.f64();
+  return p;
+}
+
+void saveMessageId(Encoder& e, const dtn::MessageId& id) {
+  e.i32(id.src);
+  e.i32(id.seq);
+}
+
+dtn::MessageId loadMessageId(Decoder& d) {
+  dtn::MessageId id;
+  id.src = d.i32();
+  id.seq = d.i32();
+  return id;
+}
+
+void saveCopyKey(Encoder& e, const dtn::CopyKey& key) {
+  saveMessageId(e, key.id);
+  e.u8(static_cast<std::uint8_t>(key.flag));
+}
+
+dtn::CopyKey loadCopyKey(Decoder& d) {
+  dtn::CopyKey key;
+  key.id = loadMessageId(d);
+  const std::uint8_t flag = d.u8();
+  if (flag > 3) d.fail("copy key holds invalid tree flag");
+  key.flag = static_cast<dtn::TreeFlag>(flag);
+  return key;
+}
+
+void saveMessage(Encoder& e, const dtn::Message& m) {
+  saveMessageId(e, m.id);
+  e.i32(m.srcNode);
+  e.i32(m.dstNode);
+  e.f64(m.created);
+  e.size(m.payloadBytes);
+  e.f64(m.expiresAt);
+  e.u8(static_cast<std::uint8_t>(m.flag));
+  savePoint(e, m.destLoc);
+  e.f64(m.destLocTime);
+  e.boolean(m.destLocKnown);
+  e.boolean(m.faceMode);
+  savePoint(e, m.faceEntry);
+  e.i32(m.facePrevHop);
+  e.i32(m.faceEntryNode);
+  e.i32(m.faceHops);
+  e.boolean(m.destLocPerturbed);
+  e.i32(m.hops);
+  e.i32(m.stuckCount);
+  e.i32(m.waitChecks);
+  e.i32(m.retryBackoff);
+  e.f64(m.lastPerturbAt);
+  e.i32(m.deliveryFailures);
+  e.f64(m.lastRecoveryAt);
+  e.f64(m.faceCooldownUntil);
+  e.i32(m.faceExhaustions);
+}
+
+dtn::Message loadMessage(Decoder& d) {
+  dtn::Message m;
+  m.id = loadMessageId(d);
+  m.srcNode = d.i32();
+  m.dstNode = d.i32();
+  m.created = d.f64();
+  m.payloadBytes = static_cast<std::size_t>(d.u64());  // simulated bytes
+  m.expiresAt = d.f64();
+  const std::uint8_t flag = d.u8();
+  if (flag > 3) d.fail("message holds invalid tree flag");
+  m.flag = static_cast<dtn::TreeFlag>(flag);
+  m.destLoc = loadPoint(d);
+  m.destLocTime = d.f64();
+  m.destLocKnown = d.boolean();
+  m.faceMode = d.boolean();
+  m.faceEntry = loadPoint(d);
+  m.facePrevHop = d.i32();
+  m.faceEntryNode = d.i32();
+  m.faceHops = d.i32();
+  m.destLocPerturbed = d.boolean();
+  m.hops = d.i32();
+  m.stuckCount = d.i32();
+  m.waitChecks = d.i32();
+  m.retryBackoff = d.i32();
+  m.lastPerturbAt = d.f64();
+  m.deliveryFailures = d.i32();
+  m.lastRecoveryAt = d.f64();
+  m.faceCooldownUntil = d.f64();
+  m.faceExhaustions = d.i32();
+  return m;
+}
+
+namespace {
+
+void saveIdVector(Encoder& e, const std::vector<dtn::MessageId>& ids) {
+  e.size(ids.size());
+  for (const dtn::MessageId& id : ids) saveMessageId(e, id);
+}
+
+std::vector<dtn::MessageId> loadIdVector(Decoder& d) {
+  const std::size_t n = d.checkedSize(d.u64(), 8);
+  std::vector<dtn::MessageId> ids;
+  ids.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) ids.push_back(loadMessageId(d));
+  return ids;
+}
+
+}  // namespace
+
+void savePayload(Encoder& e, const net::Payload& p) {
+  if (p.empty()) {
+    e.u8(kEmpty);
+    return;
+  }
+  if (const auto* hello = p.get<net::HelloPayload>()) {
+    e.u8(kHello);
+    e.i32(hello->id);
+    savePoint(e, hello->pos);
+    e.f64(hello->sentAt);
+    e.size(hello->neighbors.size());
+    for (const net::HelloPayload::Entry& entry : hello->neighbors) {
+      e.i32(entry.id);
+      savePoint(e, entry.pos);
+      e.f64(entry.heardAt);
+    }
+    return;
+  }
+  if (const auto* msg = p.get<dtn::Message>()) {
+    e.u8(kMessage);
+    saveMessage(e, *msg);
+    return;
+  }
+  if (const auto* ack = p.get<core::CustodyAck>()) {
+    e.u8(kCustodyAck);
+    saveCopyKey(e, ack->key);
+    e.boolean(ack->accepted);
+    return;
+  }
+  if (const auto* sv = p.get<routing::SummaryVector>()) {
+    e.u8(kSummaryVector);
+    saveIdVector(e, sv->ids);
+    return;
+  }
+  if (const auto* req = p.get<routing::RequestVector>()) {
+    e.u8(kRequestVector);
+    saveIdVector(e, req->ids);
+    return;
+  }
+  if (const auto* spray = p.get<routing::SprayData>()) {
+    e.u8(kSprayData);
+    saveMessage(e, spray->message);
+    e.i32(spray->budget);
+    return;
+  }
+  throw std::runtime_error{
+      "checkpoint: packet carries an unknown payload type (extend "
+      "payload_codec.cpp before checkpointing this protocol)"};
+}
+
+net::Payload loadPayload(Decoder& d) {
+  const std::uint8_t tag = d.u8();
+  switch (tag) {
+    case kEmpty:
+      return {};
+    case kHello: {
+      net::Payload p = net::Payload::create<net::HelloPayload>();
+      auto& hello = p.mutableValue<net::HelloPayload>();
+      hello.id = d.i32();
+      hello.pos = loadPoint(d);
+      hello.sentAt = d.f64();
+      const std::size_t n = d.checkedSize(d.u64(), 20);
+      hello.neighbors.clear();
+      hello.neighbors.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        net::HelloPayload::Entry entry;
+        entry.id = d.i32();
+        entry.pos = loadPoint(d);
+        entry.heardAt = d.f64();
+        hello.neighbors.push_back(entry);
+      }
+      return p;
+    }
+    case kMessage:
+      return net::Payload::of(loadMessage(d));
+    case kCustodyAck: {
+      core::CustodyAck ack;
+      ack.key = loadCopyKey(d);
+      ack.accepted = d.boolean();
+      return net::Payload::of(ack);
+    }
+    case kSummaryVector: {
+      net::Payload p = net::Payload::create<routing::SummaryVector>();
+      p.mutableValue<routing::SummaryVector>().ids = loadIdVector(d);
+      return p;
+    }
+    case kRequestVector: {
+      net::Payload p = net::Payload::create<routing::RequestVector>();
+      p.mutableValue<routing::RequestVector>().ids = loadIdVector(d);
+      return p;
+    }
+    case kSprayData: {
+      net::Payload p = net::Payload::create<routing::SprayData>();
+      auto& spray = p.mutableValue<routing::SprayData>();
+      spray.message = loadMessage(d);
+      spray.budget = d.i32();
+      return p;
+    }
+    default:
+      d.fail("unknown payload tag " + std::to_string(tag));
+  }
+}
+
+void savePacket(Encoder& e, const net::Packet& p) {
+  e.size(p.bytes);
+  e.str(p.kind);
+  savePayload(e, p.payload);
+}
+
+net::Packet loadPacket(Decoder& d) {
+  net::Packet p;
+  p.bytes = static_cast<std::size_t>(d.u64());  // simulated bytes
+  p.kind = d.str();
+  p.payload = loadPayload(d);
+  return p;
+}
+
+}  // namespace glr::ckpt

@@ -1,0 +1,33 @@
+#pragma once
+/// \file payload_codec.hpp
+/// Content-based serialization of packets and protocol payloads.
+///
+/// A net::Payload is a refcounted arena handle, so the checkpoint stores the
+/// *value* it carries plus a type tag, and restore re-creates a fresh handle
+/// holding an equal value (arena/refcount state is invisible to the
+/// simulation — packets are immutable once shared, so handle identity never
+/// matters, only content). The closed set of payload types is the protocol
+/// vocabulary: hello beacons, DTN messages, custody acks, epidemic
+/// summary/request vectors and spray handovers. An unknown payload type is a
+/// loud error at *save* time, so adding a protocol without extending this
+/// codec cannot produce a silently-wrong checkpoint.
+///
+/// Only .cpp files include this header (it pulls in the routing headers).
+
+#include "checkpoint/codec.hpp"
+#include "checkpoint/message_codec.hpp"
+#include "core/glr_agent.hpp"
+#include "net/neighbor.hpp"
+#include "net/packet.hpp"
+#include "routing/epidemic.hpp"
+#include "routing/spray_wait.hpp"
+
+namespace glr::ckpt {
+
+void savePayload(Encoder& e, const net::Payload& p);
+[[nodiscard]] net::Payload loadPayload(Decoder& d);
+
+void savePacket(Encoder& e, const net::Packet& p);
+[[nodiscard]] net::Packet loadPacket(Decoder& d);
+
+}  // namespace glr::ckpt

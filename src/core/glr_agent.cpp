@@ -1,8 +1,13 @@
 #include "core/glr_agent.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <stdexcept>
 
+#include "checkpoint/codec.hpp"
+#include "checkpoint/event_kinds.hpp"
+#include "checkpoint/message_codec.hpp"
 #include "core/face.hpp"
 #include "core/trees.hpp"
 #include "net/faults.hpp"
@@ -10,6 +15,17 @@
 #include "spanner/ldtg.hpp"
 
 namespace glr::core {
+
+namespace {
+
+sim::EventDesc glrDesc(ckpt::EventKind kind, int self) {
+  sim::EventDesc d;
+  d.kind = kind;
+  d.i0 = self;
+  return d;
+}
+
+}  // namespace
 
 GlrAgent::GlrAgent(net::World& world, int self, GlrParams params,
                    dtn::MetricsCollector* metrics, sim::Rng rng)
@@ -45,11 +61,14 @@ GlrAgent::GlrAgent(net::World& world, int self,
     });
     if (checkQueued_) return;
     checkQueued_ = true;
-    world_.sim().schedule(0.01, [this] {
-      checkQueued_ = false;
-      checkRoutes();
-    });
+    world_.sim().schedule(0.01, glrDesc(ckpt::kGlrQueuedCheck, self_),
+                          [this] { onQueuedCheck(); });
   });
+}
+
+void GlrAgent::onQueuedCheck() {
+  checkQueued_ = false;
+  checkRoutes();
 }
 
 int GlrAgent::copyCount() const {
@@ -61,6 +80,7 @@ void GlrAgent::start() {
   neighbors_.start();
   // Desynchronized periodic route checks.
   world_.sim().schedule(rng_.uniform(0.0, params_->checkInterval),
+                        glrDesc(ckpt::kGlrPeriodicCheck, self_),
                         [this] { periodicCheck(); });
 }
 
@@ -73,7 +93,9 @@ void GlrAgent::periodicCheck() {
   // copy finds its entry gone and stays silent.
   if (params_->messageTtl > 0.0) buffer_.expireDue(world_.sim().now());
   checkRoutes();
-  world_.sim().schedule(params_->checkInterval, [this] { periodicCheck(); });
+  world_.sim().schedule(params_->checkInterval,
+                        glrDesc(ckpt::kGlrPeriodicCheck, self_),
+                        [this] { periodicCheck(); });
 }
 
 void GlrAgent::originate(int dstNode) {
@@ -116,10 +138,8 @@ void GlrAgent::originate(int dstNode) {
   // Kick an immediate check so fresh messages don't idle a full interval.
   if (!checkQueued_) {
     checkQueued_ = true;
-    world_.sim().schedule(0.001, [this] {
-      checkQueued_ = false;
-      checkRoutes();
-    });
+    world_.sim().schedule(0.001, glrDesc(ckpt::kGlrQueuedCheck, self_),
+                          [this] { onQueuedCheck(); });
   }
 }
 
@@ -357,7 +377,16 @@ void GlrAgent::sendCustodyAck(const dtn::CopyKey& key, int to, int attempt,
   // Interface queue full: a lost custody ack forks the copy at the sender,
   // so retry shortly rather than relying on the sender's cache timeout.
   if (attempt < params_->ackRetries) {
-    world_.sim().schedule(params_->ackRetryDelay,
+    sim::EventDesc desc = glrDesc(ckpt::kGlrAckRetry, self_);
+    desc.i1 = to;
+    desc.u0 = (static_cast<std::uint64_t>(
+                   static_cast<std::uint32_t>(key.id.src))
+               << 32) |
+              static_cast<std::uint32_t>(key.id.seq);
+    desc.b0 = static_cast<std::uint8_t>(key.flag);
+    desc.b1 = accepted ? 1 : 0;
+    desc.u1 = static_cast<std::uint64_t>(attempt + 1);
+    world_.sim().schedule(params_->ackRetryDelay, desc,
                           [this, key, to, attempt, accepted] {
                             sendCustodyAck(key, to, attempt + 1, accepted);
                           });
@@ -493,28 +522,14 @@ bool GlrAgent::sendCopy(const dtn::CopyKey& key, int nextHop) {
   if (params_->custodyTransfer) {
     const sim::SimTime sentAt = world_.sim().now();
     buffer_.moveToCache(key, nextHop, sentAt);
-    world_.sim().schedule(custodyTimeoutNow(), [this, key, sentAt] {
-      // Reschedule only if this exact custody round is still outstanding.
-      if (buffer_.cacheEntrySentAt(key) == sentAt) {
-        // A withheld custody ack is the only observable signature of a
-        // blackhole (it accepts the frame and stays silent), so the timeout
-        // is where suspicion accrues against the chosen next hop.
-        if (params_->recovery) {
-          if (const auto hop = buffer_.cacheEntryNextHop(key)) {
-            noteCustodyFailure(*hop);
-          }
-        }
-        buffer_.returnToStore(key);
-        ++counters_.cacheTimeouts;
-        if (params_->recovery) {
-          if (dtn::Message* mm = buffer_.findInStore(key)) {
-            ++mm->deliveryFailures;
-          }
-        }
-        // An unacknowledged custody transfer is the loss signal for the
-        // congestion window.
-        if (params_->congestionControl) onCongestionSignal();
-      }
+    sim::EventDesc desc = glrDesc(ckpt::kGlrCustodyTimer, self_);
+    desc.i1 = key.id.src;
+    desc.u0 = static_cast<std::uint64_t>(
+        static_cast<std::uint32_t>(key.id.seq));
+    desc.b0 = static_cast<std::uint8_t>(key.flag);
+    desc.f0 = sentAt;
+    world_.sim().schedule(custodyTimeoutNow(), desc, [this, key, sentAt] {
+      onCustodyTimeout(key, sentAt);
     });
   } else {
     buffer_.erase(key);
@@ -525,6 +540,29 @@ bool GlrAgent::sendCopy(const dtn::CopyKey& key, int nextHop) {
               key.id.seq, 0, static_cast<std::uint8_t>(key.flag));
   }
   return true;
+}
+
+void GlrAgent::onCustodyTimeout(const dtn::CopyKey& key, sim::SimTime sentAt) {
+  // Act only if this exact custody round is still outstanding.
+  if (buffer_.cacheEntrySentAt(key) != sentAt) return;
+  // A withheld custody ack is the only observable signature of a blackhole
+  // (it accepts the frame and stays silent), so the timeout is where
+  // suspicion accrues against the chosen next hop.
+  if (params_->recovery) {
+    if (const auto hop = buffer_.cacheEntryNextHop(key)) {
+      noteCustodyFailure(*hop);
+    }
+  }
+  buffer_.returnToStore(key);
+  ++counters_.cacheTimeouts;
+  if (params_->recovery) {
+    if (dtn::Message* mm = buffer_.findInStore(key)) {
+      ++mm->deliveryFailures;
+    }
+  }
+  // An unacknowledged custody transfer is the loss signal for the
+  // congestion window.
+  if (params_->congestionControl) onCongestionSignal();
 }
 
 void GlrAgent::onPacket(const net::Packet& packet, int fromMac) {
@@ -673,6 +711,141 @@ void GlrAgent::onTxStatus(const net::Packet& packet, int /*dstMac*/,
   // rather than waiting for the full cache timeout.
   if (const auto* pm = packet.payload.get<dtn::Message>()) {
     buffer_.returnToStore(pm->key());
+  }
+}
+
+void GlrAgent::saveState(ckpt::Encoder& e) const {
+  for (const std::uint64_t word : rng_.state()) e.u64(word);
+  neighbors_.saveState(e);
+  buffer_.saveState(e);
+  locations_.saveState(e);
+  ckpt::saveUnorderedSet(e, deliveredHere_,
+                         [](ckpt::Encoder& enc, const dtn::MessageId& id) {
+                           ckpt::saveMessageId(enc, id);
+                         });
+  ckpt::saveUnorderedMap(
+      e, suspicion_,
+      [](ckpt::Encoder& enc, const int id, const SuspectEntry& s) {
+        enc.i32(id);
+        enc.i32(s.failures);
+        enc.f64(s.until);
+      });
+  e.u64(counters_.dataSent);
+  e.u64(counters_.dataReceived);
+  e.u64(counters_.duplicatesDropped);
+  e.u64(counters_.custodyAcksSent);
+  e.u64(counters_.custodyAcksReceived);
+  e.u64(counters_.cacheTimeouts);
+  e.u64(counters_.txFailures);
+  e.u64(counters_.faceTransitions);
+  e.u64(counters_.perturbations);
+  e.u64(counters_.deliveredHere);
+  e.u64(counters_.custodyRefusalsSent);
+  e.u64(counters_.custodyRefusalsReceived);
+  e.u64(counters_.sendRejects);
+  e.u64(counters_.suspicionsRaised);
+  e.u64(counters_.suspectSkips);
+  e.u64(counters_.recoveryActivations);
+  e.u64(counters_.recoverySprays);
+  e.i32(nextSeq_);
+  e.boolean(checkQueued_);
+  e.f64(cwnd_);
+  e.f64(ssthresh_);
+  e.f64(srtt_);
+  e.f64(rttvar_);
+  e.boolean(haveRtt_);
+}
+
+void GlrAgent::restoreState(ckpt::Decoder& d) {
+  std::array<std::uint64_t, 4> rngState{};
+  for (std::uint64_t& word : rngState) word = d.u64();
+  rng_.setState(rngState);
+  neighbors_.restoreState(d);
+  buffer_.restoreState(d);
+  locations_.restoreState(d);
+  ckpt::loadUnorderedSet(d, deliveredHere_, [](ckpt::Decoder& dec) {
+    return ckpt::loadMessageId(dec);
+  });
+  ckpt::loadUnorderedMap(d, suspicion_, [](ckpt::Decoder& dec) {
+    const int id = dec.i32();
+    SuspectEntry s;
+    s.failures = dec.i32();
+    s.until = dec.f64();
+    return std::pair<int, SuspectEntry>{id, s};
+  });
+  counters_.dataSent = d.u64();
+  counters_.dataReceived = d.u64();
+  counters_.duplicatesDropped = d.u64();
+  counters_.custodyAcksSent = d.u64();
+  counters_.custodyAcksReceived = d.u64();
+  counters_.cacheTimeouts = d.u64();
+  counters_.txFailures = d.u64();
+  counters_.faceTransitions = d.u64();
+  counters_.perturbations = d.u64();
+  counters_.deliveredHere = d.u64();
+  counters_.custodyRefusalsSent = d.u64();
+  counters_.custodyRefusalsReceived = d.u64();
+  counters_.sendRejects = d.u64();
+  counters_.suspicionsRaised = d.u64();
+  counters_.suspectSkips = d.u64();
+  counters_.recoveryActivations = d.u64();
+  counters_.recoverySprays = d.u64();
+  nextSeq_ = d.i32();
+  checkQueued_ = d.boolean();
+  cwnd_ = d.f64();
+  ssthresh_ = d.f64();
+  srtt_ = d.f64();
+  rttvar_ = d.f64();
+  haveRtt_ = d.boolean();
+}
+
+void GlrAgent::restoreEvent(const sim::EventKey& key,
+                            const sim::EventDesc& desc) {
+  switch (desc.kind) {
+    case ckpt::kHello:
+      neighbors_.restoreHelloEvent(key);
+      return;
+    case ckpt::kGlrPeriodicCheck:
+      world_.sim().scheduleKeyed(key, desc, [this] { periodicCheck(); });
+      return;
+    case ckpt::kGlrQueuedCheck:
+      world_.sim().scheduleKeyed(key, desc, [this] { onQueuedCheck(); });
+      return;
+    case ckpt::kGlrAckRetry: {
+      if (desc.b0 > 3) {
+        throw std::runtime_error{"GlrAgent: ack-retry event bad tree flag"};
+      }
+      dtn::CopyKey ackKey;
+      ackKey.id = {static_cast<int>(desc.u0 >> 32),
+                   static_cast<int>(desc.u0 & 0xffffffffu)};
+      ackKey.flag = static_cast<dtn::TreeFlag>(desc.b0);
+      const int to = desc.i1;
+      const int attempt = static_cast<int>(desc.u1);
+      const bool accepted = desc.b1 != 0;
+      world_.sim().scheduleKeyed(key, desc,
+                                 [this, ackKey, to, attempt, accepted] {
+                                   sendCustodyAck(ackKey, to, attempt,
+                                                  accepted);
+                                 });
+      return;
+    }
+    case ckpt::kGlrCustodyTimer: {
+      if (desc.b0 > 3) {
+        throw std::runtime_error{"GlrAgent: custody timer bad tree flag"};
+      }
+      dtn::CopyKey copyKey;
+      copyKey.id = {desc.i1, static_cast<int>(desc.u0)};
+      copyKey.flag = static_cast<dtn::TreeFlag>(desc.b0);
+      const sim::SimTime sentAt = desc.f0;
+      world_.sim().scheduleKeyed(key, desc, [this, copyKey, sentAt] {
+        onCustodyTimeout(copyKey, sentAt);
+      });
+      return;
+    }
+    default:
+      throw std::runtime_error{
+          "GlrAgent: cannot restore event kind " +
+          std::to_string(static_cast<int>(desc.kind))};
   }
 }
 

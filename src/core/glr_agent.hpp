@@ -214,6 +214,16 @@ class GlrAgent final : public routing::DtnAgent {
   /// Copies Algorithm 1 chooses for this agent's network profile.
   [[nodiscard]] int copyCount() const;
 
+  /// Checkpoint support: hello service, buffer (Store + Cache), location
+  /// table, delivered set, suspicion ledger, AIMD congestion state,
+  /// counters and RNG. Pending events (hello beacon, periodic/queued route
+  /// checks, custody-ack retries, custody timers) are rebuilt via
+  /// restoreEvent.
+  void saveState(ckpt::Encoder& e) const override;
+  void restoreState(ckpt::Decoder& d) override;
+  void restoreEvent(const sim::EventKey& key,
+                    const sim::EventDesc& desc) override;
+
  private:
   void periodicCheck();
   void checkRoutes();
@@ -231,6 +241,12 @@ class GlrAgent final : public routing::DtnAgent {
   void onCongestionSignal();
   /// Queues one copy to the MAC; returns true if it actually went out.
   bool sendCopy(const dtn::CopyKey& key, int nextHop);
+  /// Custody timer body: fires custodyTimeoutNow() after a cached send;
+  /// no-ops unless this exact custody round (matched by sentAt) is still
+  /// outstanding. Named so checkpoint restore re-creates the same callback.
+  void onCustodyTimeout(const dtn::CopyKey& key, sim::SimTime sentAt);
+  /// Contact/originate-triggered deferred route check (checkQueued_ gate).
+  void onQueuedCheck();
   /// Resolves the destination position for a stored message, applying
   /// location diffusion in both directions. Returns false if nothing is
   /// known (only possible before any observation in kNoneKnow-less setups).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "checkpoint/message_codec.hpp"
 #include "trace/recorder.hpp"
 
 namespace glr::dtn {
@@ -227,6 +228,73 @@ std::size_t MessageBuffer::expireDue(sim::SimTime now) {
   }
   expired_ += removed;
   return removed;
+}
+
+void MessageBuffer::saveState(ckpt::Encoder& e) const {
+  e.size(capacity_);
+  e.size(store_.size());
+  for (const Message& m : store_) ckpt::saveMessage(e, m);
+  e.size(cache_.size());
+  for (const CacheEntry& entry : cache_) {
+    ckpt::saveMessage(e, entry.message);
+    e.i32(entry.nextHop);
+    e.f64(entry.sentAt);
+  }
+  e.size(peak_);
+  e.u64(drops_);
+  e.u64(expired_);
+  e.size(reserveHint_);
+}
+
+void MessageBuffer::restoreState(ckpt::Decoder& d) {
+  // u64, not size(): capacity is kUnlimitedStorage (SIZE_MAX) by default,
+  // and peak/reserveHint are counters — none bound upcoming section bytes.
+  const auto capacity = static_cast<std::size_t>(d.u64());
+  if (capacity != capacity_) {
+    d.fail("buffer capacity mismatch (snapshot " + std::to_string(capacity) +
+           ", live " + std::to_string(capacity_) + ")");
+  }
+  store_.clear();
+  cache_.clear();
+  storeIndex_.clear();
+  cacheIndex_.clear();
+  branchCount_.clear();
+
+  const std::size_t nStore = d.checkedSize(d.u64(), 16);
+  const std::size_t sizeBefore = d.remaining();
+  for (std::size_t i = 0; i < nStore; ++i) {
+    store_.push_back(ckpt::loadMessage(d));
+  }
+  // Pre-size the rebuilt indexes for the restored population (pure lookup
+  // caches; bucket counts are never observable).
+  const std::size_t perMessage =
+      nStore > 0 ? (sizeBefore - d.remaining()) / nStore : 16;
+  const std::size_t nCache =
+      d.checkedSize(d.u64(), perMessage > 0 ? perMessage : 16);
+  storeIndex_.reserve(nStore);
+  cacheIndex_.reserve(nCache);
+  branchCount_.reserve(nStore + nCache);
+  for (std::size_t i = 0; i < nCache; ++i) {
+    CacheEntry entry;
+    entry.message = ckpt::loadMessage(d);
+    entry.nextHop = d.i32();
+    entry.sentAt = d.f64();
+    cache_.push_back(std::move(entry));
+  }
+  for (auto it = store_.begin(); it != store_.end(); ++it) {
+    if (contains(it->key())) d.fail("duplicate copy key in restored store");
+    indexStoreInsert(it);
+  }
+  for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+    if (contains(it->message.key())) {
+      d.fail("duplicate copy key in restored cache");
+    }
+    indexCacheInsert(it);
+  }
+  peak_ = static_cast<std::size_t>(d.u64());
+  drops_ = d.u64();
+  expired_ = d.u64();
+  reserveHint_ = static_cast<std::size_t>(d.u64());
 }
 
 std::vector<CopyKey> MessageBuffer::cachedSentBefore(

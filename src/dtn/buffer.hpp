@@ -27,6 +27,11 @@ class Recorder;  // trace/recorder.hpp
 enum class EventType : std::uint8_t;
 }
 
+namespace glr::ckpt {
+class Encoder;  // checkpoint/codec.hpp
+class Decoder;
+}
+
 namespace glr::dtn {
 
 inline constexpr std::size_t kUnlimitedStorage = SIZE_MAX;
@@ -128,6 +133,14 @@ class MessageBuffer {
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] std::size_t peakSize() const { return peak_; }
   [[nodiscard]] std::uint64_t dropCount() const { return drops_; }
+
+  /// Checkpoint support. The FIFO lists are the source of truth (their order
+  /// drives eviction and iteration determinism) and are serialized verbatim;
+  /// the hash indexes are pure key-lookup caches and are rebuilt on restore.
+  /// restoreState verifies the snapshot's capacity against the live one and
+  /// fails loudly on mismatch (a config-divergence tripwire).
+  void saveState(ckpt::Encoder& e) const;
+  void restoreState(ckpt::Decoder& d);
 
  private:
   struct CacheEntry {

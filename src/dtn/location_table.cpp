@@ -1,0 +1,27 @@
+#include "dtn/location_table.hpp"
+
+#include "checkpoint/codec.hpp"
+#include "checkpoint/message_codec.hpp"
+
+namespace glr::dtn {
+
+void LocationTable::saveState(ckpt::Encoder& e) const {
+  ckpt::saveUnorderedMap(e, table_, [](ckpt::Encoder& enc, const int id,
+                                       const Entry& entry) {
+    enc.i32(id);
+    ckpt::savePoint(enc, entry.pos);
+    enc.f64(entry.at);
+  });
+}
+
+void LocationTable::restoreState(ckpt::Decoder& d) {
+  ckpt::loadUnorderedMap(d, table_, [](ckpt::Decoder& dec) {
+    const int id = dec.i32();
+    Entry entry;
+    entry.pos = ckpt::loadPoint(dec);
+    entry.at = dec.f64();
+    return std::pair<int, Entry>{id, entry};
+  });
+}
+
+}  // namespace glr::dtn

@@ -10,6 +10,11 @@
 #include "geometry/point.hpp"
 #include "sim/simulator.hpp"
 
+namespace glr::ckpt {
+class Encoder;  // checkpoint/codec.hpp
+class Decoder;
+}
+
 namespace glr::dtn {
 
 class LocationTable {
@@ -54,6 +59,14 @@ class LocationTable {
       }
     }
   }
+
+  /// Checkpoint support: although the table is a pure key-value lookup, it
+  /// is saved/restored with the order-preserving container codec so a
+  /// restored node is byte-for-byte in the snapshotted state (prune() does
+  /// iterate, and keeping every container on one policy is cheaper than
+  /// proving order-independence per call site).
+  void saveState(ckpt::Encoder& e) const;
+  void restoreState(ckpt::Decoder& d);
 
  private:
   std::unordered_map<int, Entry> table_;

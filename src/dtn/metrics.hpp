@@ -29,6 +29,11 @@
 #include "stats/sketch.hpp"
 #include "trace/recorder.hpp"
 
+namespace glr::ckpt {
+class Encoder;  // checkpoint/codec.hpp
+class Decoder;
+}
+
 namespace glr::dtn {
 
 class MetricsCollector {
@@ -109,6 +114,12 @@ class MetricsCollector {
   [[nodiscard]] const stats::Moments& latencyMoments() const {
     return latencyMoments_;
   }
+
+  /// Checkpoint support: bitmaps, counters (order-preserved), scalar sums
+  /// and both latency sketches round-trip bit-exactly. The trace pointer is
+  /// wiring, not state, and is left untouched.
+  void saveState(ckpt::Encoder& e) const;
+  void restoreState(ckpt::Decoder& d);
 
  private:
   // One bitmap per origin node, indexed by the dense per-origin sequence.

@@ -1,7 +1,9 @@
 #include "experiment/node_export.hpp"
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <iterator>
 #include <memory>
 #include <stdexcept>
@@ -130,7 +132,8 @@ void exportNodeCounters(const std::string& path, net::World& world,
   }
   FilePtr file(std::fopen(path.c_str(), "w"));
   if (!file) {
-    throw std::runtime_error{"exportNodeCounters: cannot write " + path};
+    throw std::runtime_error{"exportNodeCounters: cannot write " + path +
+                             ": " + std::strerror(errno)};
   }
 
   const auto n = static_cast<int>(world.numNodes());
@@ -164,6 +167,12 @@ void exportNodeCounters(const std::string& path, net::World& world,
       }
       std::fprintf(file.get(), "\n");
     }
+  }
+  // stdio buffers writes, so a full disk or yanked filesystem surfaces only
+  // here — check, or a run "succeeds" having exported a truncated file.
+  if (std::fflush(file.get()) != 0 || std::ferror(file.get())) {
+    throw std::runtime_error{"exportNodeCounters: write failed for " + path +
+                             ": " + std::strerror(errno)};
   }
 }
 

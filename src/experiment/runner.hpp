@@ -26,6 +26,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -120,10 +121,40 @@ class SweepRunner {
     bool progress = false;
     /// Tag for progress lines, e.g. "tab3".
     const char* label = "sweep";
+
+    /// Crash safety. Non-empty: runCells appends each finished cell's
+    /// result to this journal file (one fflushed record per cell), and a
+    /// rerun of the SAME sweep over the same journal skips the cells it
+    /// already holds — a killed sweep resumes instead of restarting. The
+    /// journal header carries a digest over every cell's config; pointing
+    /// it at a different sweep throws rather than mixing results. A record
+    /// torn by the kill (partial tail) is discarded, never misread.
+    std::string journalPath;
+    /// With journalPath: also snapshot each in-flight cell's simulation
+    /// state every this many sim-seconds (to journalPath + ".cell<i>.ckpt",
+    /// removed when the cell completes), so a resumed sweep restarts
+    /// interrupted cells mid-run — bit-identically — instead of from zero.
+    /// 0 disables in-cell snapshots (interrupted cells rerun whole).
+    double cellCheckpointEvery = 0.0;
+    /// Watchdog: a cell exceeding this many wall-clock seconds is aborted
+    /// (counted in Stats::cellTimeouts), retried with the same seed up to
+    /// cellRetries more times, then fails the sweep loudly. 0 disables.
+    double cellTimeout = 0.0;
+    /// Extra same-seed attempts after a cell's first wall-clock timeout.
+    int cellRetries = 1;
+  };
+
+  /// Crash-safety accounting for the most recent run()/runCells() call.
+  struct Stats {
+    std::size_t cellsResumed = 0;   // completed results taken from journal
+    std::size_t cellsRestored = 0;  // cells continued from in-cell snapshots
+    std::size_t cellTimeouts = 0;   // watchdog aborts (incl. retried ones)
   };
 
   SweepRunner();  // default Options
   explicit SweepRunner(Options opts);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
 
   /// Enumerates `grid x runs` cells (seedForRun applied to each config's
   /// base seed), executes them across the pool, and returns results grouped
@@ -139,6 +170,7 @@ class SweepRunner {
 
  private:
   Options opts_;
+  Stats stats_;
 };
 
 }  // namespace glr::experiment

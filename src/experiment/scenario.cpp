@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <functional>
 #include <memory>
 #include <numbers>
 #include <stdexcept>
 
+#include "checkpoint/event_kinds.hpp"
+#include "checkpoint/scenario_checkpoint.hpp"
 #include "dtn/metrics.hpp"
 #include "experiment/node_export.hpp"
 #include "experiment/runner.hpp"
@@ -203,6 +206,10 @@ ScenarioResult runScenario(const ScenarioConfig& cfg) {
     throw std::invalid_argument{
         "runScenario: need 0 < radiusSpreadMin <= radiusSpreadMax"};
   }
+  if (!cfg.checkpointPath.empty() && !(cfg.checkpointEvery > 0.0)) {
+    throw std::invalid_argument{
+        "runScenario: checkpointPath set but checkpointEvery is not positive"};
+  }
   const auto wallStart = std::chrono::steady_clock::now();
   // Runs must be independent: the spanner memo cache is thread-local and
   // would otherwise carry entries (and counters) across scenarios. Purely a
@@ -221,6 +228,15 @@ ScenarioResult runScenario(const ScenarioConfig& cfg) {
   // per-node term keeps city-scale bursts from reallocating mid-run.
   simulator.reserve(std::max<std::size_t>(
       4096, static_cast<std::size_t>(cfg.numNodes) * 4));
+  // Checkpointing needs every pending event described, so this must precede
+  // the first schedule anywhere. Also required on a restored run: keyed
+  // event re-creation and any further snapshots both read descriptors.
+  if (cfg.checkpointEvery > 0.0 || !cfg.restoreFrom.empty()) {
+    simulator.enableEventDescriptions();
+  }
+  if (cfg.wallDeadlineSeconds > 0.0) {
+    simulator.setWallDeadline(cfg.wallDeadlineSeconds);
+  }
   phy::TwoRayGround model;
   phy::RadioParams radio;
   radio.nominalRange = cfg.radius;
@@ -248,6 +264,9 @@ ScenarioResult runScenario(const ScenarioConfig& cfg) {
                                                  cfg.traceRingCapacity);
     world.setTraceRecorder(recorder.get());
     metrics.setTrace(recorder.get());
+    // Ctrl-C / kill during a traced run finalizes the file before dying;
+    // SIGKILL still truncates (salvage with `trace_inspect recover`).
+    trace::Recorder::installSignalFinalize();
   }
 
   const mobility::Area area{cfg.areaWidth, cfg.areaHeight};
@@ -346,7 +365,52 @@ ScenarioResult runScenario(const ScenarioConfig& cfg) {
     trafficProcess->start();
   }
 
+  // Crash safety: the periodic snapshot writer is itself a simulated event
+  // (kCheckpointTimer), so checkpointEvery is part of the config digest and
+  // of the deterministic sequence. The callback reschedules FIRST, so the
+  // snapshot it then writes already contains the next timer — a restored
+  // run keeps checkpointing on the same cadence. With checkpointPath empty
+  // the timer still fires (keeping eventsExecuted identical to a writing
+  // run of the same config) but writes nothing.
+  ckpt::ScenarioComponents comps;
+  comps.sim = &simulator;
+  comps.world = &world;
+  comps.cfg = &cfg;
+  comps.agents = &agents;
+  comps.metrics = &metrics;
+  comps.churn = churn.get();
+  comps.faults = faults.get();
+  comps.traffic = trafficProcess.get();
+  std::function<void()> checkpointTick;
+  if (cfg.checkpointEvery > 0.0) {
+    checkpointTick = [&cfg, &simulator, &comps, &checkpointTick] {
+      sim::EventDesc desc{};
+      desc.kind = ckpt::kCheckpointTimer;
+      simulator.schedule(cfg.checkpointEvery, desc,
+                         [&checkpointTick] { checkpointTick(); });
+      if (!cfg.checkpointPath.empty()) {
+        ckpt::writeCheckpoint(cfg.checkpointPath, comps);
+      }
+    };
+    comps.restoreCheckpointTimer = [&simulator,
+                                    &checkpointTick](const sim::EventKey& key) {
+      sim::EventDesc desc{};
+      desc.kind = ckpt::kCheckpointTimer;
+      simulator.scheduleKeyed(key, desc,
+                              [&checkpointTick] { checkpointTick(); });
+    };
+    if (cfg.restoreFrom.empty()) {
+      sim::EventDesc desc{};
+      desc.kind = ckpt::kCheckpointTimer;
+      simulator.schedule(cfg.checkpointEvery, desc,
+                         [&checkpointTick] { checkpointTick(); });
+    }
+  }
+
   world.start();
+  if (!cfg.restoreFrom.empty()) {
+    ckpt::restoreCheckpoint(cfg.restoreFrom, comps);
+  }
   simulator.run(cfg.simTime);
 
   ScenarioResult r;

@@ -180,6 +180,21 @@ struct ScenarioConfig {
   std::size_t traceRingCapacity = 1 << 16;
   std::string nodeCountersPath;
 
+  // Crash safety (see checkpoint/scenario_checkpoint.hpp). checkpointPath
+  // non-empty + checkpointEvery > 0 snapshots the full simulation state
+  // every checkpointEvery sim-seconds (atomic replace, so a crash leaves
+  // the previous snapshot intact). restoreFrom non-empty resumes from such
+  // a snapshot and continues bit-identically to the uninterrupted run.
+  // checkpointEvery changes the event sequence (the writer is a simulated
+  // event) and is therefore part of the config digest; the paths are not.
+  std::string checkpointPath;
+  double checkpointEvery = 0.0;
+  std::string restoreFrom;
+  /// Watchdog: abort the run with sim::WallClockTimeout after this many
+  /// wall-clock seconds (0 = no deadline). Host timing only — never part of
+  /// the simulated event sequence or the checkpoint config digest.
+  double wallDeadlineSeconds = 0.0;
+
   std::uint64_t seed = 1;
 };
 

@@ -1,11 +1,25 @@
 #include "experiment/traffic.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <stdexcept>
 #include <utility>
 
+#include "checkpoint/codec.hpp"
+#include "checkpoint/event_kinds.hpp"
+
 namespace glr::experiment {
+
+namespace {
+
+sim::EventDesc trafficDesc(ckpt::EventKind kind) {
+  sim::EventDesc d;
+  d.kind = kind;
+  return d;
+}
+
+}  // namespace
 
 void schedulePaperWorkload(sim::Simulator& sim,
                            const std::vector<routing::DtnAgent*>& agents,
@@ -15,7 +29,10 @@ void schedulePaperWorkload(sim::Simulator& sim,
   constexpr std::uint64_t kPairEnumerationCap = 1u << 20;
   const auto traffic = static_cast<std::uint64_t>(trafficNodes);
   const auto scheduleMessage = [&](int k, int src, int dst) {
-    sim.schedule(trafficStart + k * messageInterval,
+    sim::EventDesc desc = trafficDesc(ckpt::kTrafficPaperArrival);
+    desc.i0 = src;
+    desc.i1 = dst;
+    sim.schedule(trafficStart + k * messageInterval, desc,
                  [agent = agents[static_cast<std::size_t>(src)], dst] {
                    agent->originate(dst);
                  });
@@ -154,7 +171,8 @@ void TrafficProcess::scheduleArrival() {
   const sim::SimTime at = std::max(params_.start, sim_.now()) +
                           rng_.exponential(1.0 / maxRate_);
   if (at >= params_.horizon) return;  // chain ends inside the horizon
-  sim_.scheduleAt(at, [this] { arrival(); });
+  sim_.scheduleAt(at, trafficDesc(ckpt::kTrafficArrival),
+                  [this] { arrival(); });
 }
 
 void TrafficProcess::arrival() {
@@ -193,13 +211,17 @@ void TrafficProcess::togglePhase(std::size_t s) {
   const sim::SimTime at =
       std::max(params_.start, sim_.now()) + src.rng.exponential(mean);
   if (at >= params_.horizon) return;
-  sim_.scheduleAt(at, [this, s] {
-    Source& source = sources_[s];
-    source.on = !source.on;
-    ++source.epoch;  // invalidate the previous phase's pending arrival
-    togglePhase(s);
-    if (source.on) scheduleSourceArrival(s);
-  });
+  sim::EventDesc desc = trafficDesc(ckpt::kTrafficSourceToggle);
+  desc.u0 = static_cast<std::uint64_t>(s);
+  sim_.scheduleAt(at, desc, [this, s] { phaseFlip(s); });
+}
+
+void TrafficProcess::phaseFlip(std::size_t s) {
+  Source& source = sources_[s];
+  source.on = !source.on;
+  ++source.epoch;  // invalidate the previous phase's pending arrival
+  togglePhase(s);
+  if (source.on) scheduleSourceArrival(s);
 }
 
 void TrafficProcess::scheduleSourceArrival(std::size_t s) {
@@ -215,7 +237,10 @@ void TrafficProcess::scheduleSourceArrival(std::size_t s) {
   const sim::SimTime at = std::max(params_.start, sim_.now()) +
                           src.rng.exponential(1.0 / onRate);
   if (at >= params_.horizon) return;
-  sim_.scheduleAt(at,
+  sim::EventDesc desc = trafficDesc(ckpt::kTrafficSourceArrival);
+  desc.u0 = static_cast<std::uint64_t>(s);
+  desc.u1 = src.epoch;
+  sim_.scheduleAt(at, desc,
                   [this, s, epoch = src.epoch] { sourceArrival(s, epoch); });
 }
 
@@ -229,6 +254,66 @@ void TrafficProcess::sourceArrival(std::size_t s, std::uint64_t epoch) {
   ++generated_;
   agents_[s]->originate(dst);
   scheduleSourceArrival(s);
+}
+
+// ------------------------------------------------------- checkpointing ---
+
+void TrafficProcess::saveState(ckpt::Encoder& e) const {
+  for (const std::uint64_t word : rng_.state()) e.u64(word);
+  e.size(sources_.size());
+  for (const Source& src : sources_) {
+    e.boolean(src.on);
+    e.u64(src.epoch);
+    for (const std::uint64_t word : src.rng.state()) e.u64(word);
+  }
+  e.u64(generated_);
+  e.u64(thinned_);
+}
+
+void TrafficProcess::restoreState(ckpt::Decoder& d) {
+  std::array<std::uint64_t, 4> rngState{};
+  for (std::uint64_t& word : rngState) word = d.u64();
+  rng_.setState(rngState);
+  const std::size_t n = d.checkedSize(d.u64(), 41);
+  if (n != sources_.size()) {
+    d.fail("traffic source count mismatch (config diverged)");
+  }
+  for (Source& src : sources_) {
+    src.on = d.boolean();
+    src.epoch = d.u64();
+    for (std::uint64_t& word : rngState) word = d.u64();
+    src.rng.setState(rngState);
+  }
+  generated_ = d.u64();
+  thinned_ = d.u64();
+}
+
+void TrafficProcess::restoreArrivalEvent(const sim::EventKey& key) {
+  sim_.scheduleKeyed(key, trafficDesc(ckpt::kTrafficArrival),
+                     [this] { arrival(); });
+}
+
+void TrafficProcess::restoreToggleEvent(const sim::EventKey& key,
+                                        std::size_t s) {
+  if (s >= sources_.size()) {
+    throw std::runtime_error{"TrafficProcess: toggle event for bad source"};
+  }
+  sim::EventDesc desc = trafficDesc(ckpt::kTrafficSourceToggle);
+  desc.u0 = static_cast<std::uint64_t>(s);
+  sim_.scheduleKeyed(key, desc, [this, s] { phaseFlip(s); });
+}
+
+void TrafficProcess::restoreSourceArrivalEvent(const sim::EventKey& key,
+                                               std::size_t s,
+                                               std::uint64_t epoch) {
+  if (s >= sources_.size()) {
+    throw std::runtime_error{"TrafficProcess: arrival event for bad source"};
+  }
+  sim::EventDesc desc = trafficDesc(ckpt::kTrafficSourceArrival);
+  desc.u0 = static_cast<std::uint64_t>(s);
+  desc.u1 = epoch;
+  sim_.scheduleKeyed(key, desc,
+                     [this, s, epoch] { sourceArrival(s, epoch); });
 }
 
 }  // namespace glr::experiment

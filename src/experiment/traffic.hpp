@@ -102,6 +102,17 @@ class TrafficProcess {
   /// Arrival candidates suppressed by flash-crowd thinning (diagnostic).
   [[nodiscard]] std::uint64_t thinned() const { return thinned_; }
 
+  /// Checkpoint support: generator RNG(s), per-source phase/epoch state and
+  /// the generated/thinned counters. Construction-derived knobs (maxRate_,
+  /// flash window, hotCount_) are re-derived from the config, not stored.
+  /// Pending generator events are rebuilt via the restore*Event methods.
+  void saveState(ckpt::Encoder& e) const;
+  void restoreState(ckpt::Decoder& d);
+  void restoreArrivalEvent(const sim::EventKey& key);
+  void restoreToggleEvent(const sim::EventKey& key, std::size_t s);
+  void restoreSourceArrivalEvent(const sim::EventKey& key, std::size_t s,
+                                 std::uint64_t epoch);
+
  private:
   enum class Model { kPoisson, kOnOff, kHotspot, kFlashCrowd };
 
@@ -116,6 +127,8 @@ class TrafficProcess {
   void scheduleArrival();              // kPoisson / kHotspot / kFlashCrowd
   void arrival();
   void togglePhase(std::size_t s);     // kOnOff
+  /// Phase-toggle event body (named so restore recreates the callback).
+  void phaseFlip(std::size_t s);
   void scheduleSourceArrival(std::size_t s);
   void sourceArrival(std::size_t s, std::uint64_t epoch);
   void originatePair(sim::Rng& rng, bool hot);

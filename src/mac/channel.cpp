@@ -4,11 +4,20 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "checkpoint/event_kinds.hpp"
+#include "checkpoint/payload_codec.hpp"
 #include "mac/mac.hpp"
 
 namespace glr::mac {
 
 namespace {
+
+sim::EventDesc txEndDesc(std::uint64_t txId) {
+  sim::EventDesc d;
+  d.kind = ckpt::kChannelTxEnd;
+  d.u0 = txId;
+  return d;
+}
 /// Power ratio (linear) a signal must have over each interferer to survive
 /// a collision (capture effect); 10 == 10 dB.
 constexpr double kCaptureRatio = 10.0;
@@ -248,7 +257,8 @@ void Channel::startTransmission(int sender, Frame frame, double duration) {
   history_.push_back(std::move(tx));
   ++stats_.framesSent;
   stats_.airTimeSeconds += duration;
-  sim_.schedule(duration, [this, txId] { finishTransmission(txId); });
+  sim_.schedule(duration, txEndDesc(txId),
+                [this, txId] { finishTransmission(txId); });
 }
 
 bool Channel::mediumBusy(int nodeId) const {
@@ -429,6 +439,76 @@ void Channel::finishTransmission(std::uint64_t txId) {
     history_.pop_front();
     ++historyBaseId_;
   }
+}
+
+void Channel::saveState(ckpt::Encoder& e) const {
+  e.size(history_.size());
+  for (std::size_t i = 0; i < history_.size(); ++i) {
+    const ActiveTx& tx = history_[i];
+    e.i32(tx.sender);
+    e.u8(static_cast<std::uint8_t>(tx.frame.type));
+    e.i32(tx.frame.src);
+    e.i32(tx.frame.dst);
+    e.u64(tx.frame.seq);
+    e.size(tx.frame.bytes);
+    ckpt::savePacket(e, tx.frame.packet);
+    e.f64(tx.start);
+    e.f64(tx.end);
+    e.f64(tx.maxEndUpTo);
+    ckpt::savePoint(e, tx.senderPos);
+  }
+  e.u64(nextTxId_);
+  e.u64(historyBaseId_);
+  e.u64(stats_.framesSent);
+  e.u64(stats_.framesDelivered);
+  e.u64(stats_.collisions);
+  e.u64(stats_.rxWhileTx);
+  e.u64(stats_.faultDrops);
+  e.f64(stats_.airTimeSeconds);
+}
+
+void Channel::restoreState(ckpt::Decoder& d) {
+  history_.clear();
+  const std::size_t n = d.checkedSize(d.u64(), 54);
+  for (std::size_t i = 0; i < n; ++i) {
+    ActiveTx tx;
+    tx.sender = d.i32();
+    const std::uint8_t type = d.u8();
+    if (type > 1) d.fail("active transmission holds invalid frame type");
+    tx.frame.type = static_cast<Frame::Type>(type);
+    tx.frame.src = d.i32();
+    tx.frame.dst = d.i32();
+    tx.frame.seq = d.u64();
+    tx.frame.bytes = static_cast<std::size_t>(d.u64());  // simulated bytes
+    tx.frame.packet = ckpt::loadPacket(d);
+    tx.start = d.f64();
+    tx.end = d.f64();
+    tx.maxEndUpTo = d.f64();
+    tx.senderPos = ckpt::loadPoint(d);
+    history_.push_back(std::move(tx));
+  }
+  nextTxId_ = d.u64();
+  historyBaseId_ = d.u64();
+  stats_.framesSent = d.u64();
+  stats_.framesDelivered = d.u64();
+  stats_.collisions = d.u64();
+  stats_.rxWhileTx = d.u64();
+  stats_.faultDrops = d.u64();
+  stats_.airTimeSeconds = d.f64();
+  // Drop the receiver index; the next candidate query rebuilds it fresh at
+  // the restored clock (pure superset cache — see the header comment).
+  indexGrid_.reset();
+  indexBuiltAt_ = -1.0;
+}
+
+void Channel::restoreTxEndEvent(const sim::EventKey& key, std::uint64_t txId) {
+  if (txId >= nextTxId_) {
+    throw std::runtime_error{
+        "checkpoint: tx-end event names transmission " + std::to_string(txId) +
+        " but only " + std::to_string(nextTxId_) + " were ever started"};
+  }
+  sim_.scheduleKeyed(key, txEndDesc(txId),
+                     [this, txId] { finishTransmission(txId); });
 }
 
 }  // namespace glr::mac

@@ -35,6 +35,11 @@
 #include "sim/ring_deque.hpp"
 #include "sim/simulator.hpp"
 
+namespace glr::ckpt {
+class Encoder;  // checkpoint/codec.hpp
+class Decoder;
+}
+
 namespace glr::mac {
 
 class Mac;
@@ -143,6 +148,19 @@ class Channel {
   [[nodiscard]] const phy::RadioThresholds& thresholds() const {
     return thresholds_;
   }
+
+  /// Checkpoint support: the transmission history ring (in-flight and
+  /// recently ended frames), tx-id counters and channel stats. The receiver
+  /// index is a candidate-superset cache and is dropped on restore — the
+  /// next query rebuilds it fresh at the restored clock, which cannot
+  /// change delivery decisions (candidates are a padded superset; the exact
+  /// per-node checks and their ascending-id visit order are unchanged).
+  void saveState(ckpt::Encoder& e) const;
+  void restoreState(ckpt::Decoder& d);
+
+  /// Re-creates a pending transmission-end event under its original key
+  /// (see checkpoint/event_kinds.hpp kChannelTxEnd, u0 = txId).
+  void restoreTxEndEvent(const sim::EventKey& key, std::uint64_t txId);
 
  private:
   struct ActiveTx {

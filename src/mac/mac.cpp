@@ -1,10 +1,25 @@
 #include "mac/mac.hpp"
 
 #include <algorithm>
+#include <array>
 #include <stdexcept>
 #include <utility>
 
+#include "checkpoint/event_kinds.hpp"
+#include "checkpoint/payload_codec.hpp"
+
 namespace glr::mac {
+
+namespace {
+
+sim::EventDesc macDesc(ckpt::EventKind kind, int self) {
+  sim::EventDesc d;
+  d.kind = kind;
+  d.i0 = self;
+  return d;
+}
+
+}  // namespace
 
 Mac::Mac(sim::Simulator& sim, Channel& channel, int self, MacParams params,
          sim::Rng rng)
@@ -51,7 +66,8 @@ void Mac::scheduleAttempt() {
     return;
   }
   attemptScheduled_ = true;
-  attemptHandle_ = sim_.schedule(0.0, [this] { attempt(); });
+  attemptHandle_ = sim_.schedule(0.0, macDesc(ckpt::kMacAttempt, self_),
+                                 [this] { attempt(); });
 }
 
 void Mac::attempt() {
@@ -66,24 +82,30 @@ void Mac::attempt() {
     const sim::SimTime idleAt =
         std::max(channel_.nextIdleHint(self_), sim_.now());
     attemptHandle_ = sim_.scheduleAt(
-        idleAt + rng_.uniform(0.0, params_.slotTime), [this] { attempt(); });
+        idleAt + rng_.uniform(0.0, params_.slotTime),
+        macDesc(ckpt::kMacAttempt, self_), [this] { attempt(); });
     return;
   }
   const int cw = contentionWindow(queue_.front().attempts);
   const double backoff =
       static_cast<double>(rng_.below(static_cast<std::uint64_t>(cw) + 1)) *
       params_.slotTime;
-  attemptHandle_ = sim_.schedule(params_.difs + backoff, [this] {
-    if (!radioUp_ || queue_.empty()) {
-      attemptScheduled_ = false;
-      return;
-    }
-    if (channel_.mediumBusy(self_)) {
-      attempt();  // medium got busy during backoff: defer again
-      return;
-    }
-    transmitHead();
-  });
+  attemptHandle_ =
+      sim_.schedule(params_.difs + backoff,
+                    macDesc(ckpt::kMacBackoffExpire, self_),
+                    [this] { onBackoffExpire(); });
+}
+
+void Mac::onBackoffExpire() {
+  if (!radioUp_ || queue_.empty()) {
+    attemptScheduled_ = false;
+    return;
+  }
+  if (channel_.mediumBusy(self_)) {
+    attempt();  // medium got busy during backoff: defer again
+    return;
+  }
+  transmitHead();
 }
 
 void Mac::transmitHead() {
@@ -108,7 +130,10 @@ void Mac::transmitHead() {
   if (out.attempts > 0) ++stats_.retries;
 
   channel_.startTransmission(self_, std::move(frame), duration);
-  sim_.schedule(duration, [this, broadcast, epoch = radioEpoch_] {
+  sim::EventDesc desc = macDesc(ckpt::kMacTxEnd, self_);
+  desc.b0 = broadcast ? 0 : 1;  // expectAck
+  desc.u0 = radioEpoch_;
+  sim_.schedule(duration, desc, [this, broadcast, epoch = radioEpoch_] {
     onDataTxEnd(!broadcast, epoch);
   });
 }
@@ -129,7 +154,9 @@ void Mac::onDataTxEnd(bool expectAck, std::uint64_t epoch) {
   awaitedSeq_ = queue_.front().seq;
   const double ackTimeout = params_.sifs + frameDuration(params_.ackBytes) +
                             2.0 * params_.slotTime + 20e-6;
-  ackTimeoutHandle_ = sim_.schedule(ackTimeout, [this] { onAckTimeout(); });
+  ackTimeoutHandle_ =
+      sim_.schedule(ackTimeout, macDesc(ckpt::kMacAckTimeout, self_),
+                    [this] { onAckTimeout(); });
 }
 
 void Mac::onAckTimeout() {
@@ -201,19 +228,16 @@ void Mac::onFrameReceived(const Frame& frame) {
     // lambda captures only the scalars and builds the Frame when it fires so
     // the closure stays inside the kernel's inline-callback budget.
     const double ackDur = frameDuration(params_.ackBytes);
-    sim_.schedule(params_.sifs, [this, dst = frame.src, seq = frame.seq,
-                                 ackDur, epoch = radioEpoch_] {
-      if (epoch != radioEpoch_) return;  // radio toggled during SIFS
-      Frame ack;
-      ack.type = Frame::Type::kAck;
-      ack.src = self_;
-      ack.dst = dst;
-      ack.seq = seq;
-      ack.bytes = params_.ackBytes;
-      recordOwnTx(sim_.now(), sim_.now() + ackDur);
-      ++stats_.ackTx;
-      channel_.startTransmission(self_, std::move(ack), ackDur);
-    });
+    sim::EventDesc desc = macDesc(ckpt::kMacAckReply, self_);
+    desc.i1 = frame.src;
+    desc.u0 = frame.seq;
+    desc.u1 = radioEpoch_;
+    desc.f0 = ackDur;
+    sim_.schedule(params_.sifs, desc,
+                  [this, dst = frame.src, seq = frame.seq, ackDur,
+                   epoch = radioEpoch_] {
+                    sendAckReply(dst, seq, ackDur, epoch);
+                  });
   } else if (frame.dst != net::kBroadcast) {
     return;  // unicast for someone else
   }
@@ -243,6 +267,165 @@ bool Mac::transmittedDuring(sim::SimTime start, sim::SimTime end) const {
     if (s <= end && start < e) return true;
   }
   return false;
+}
+
+void Mac::sendAckReply(int dst, std::uint64_t seq, double ackDur,
+                       std::uint64_t epoch) {
+  if (epoch != radioEpoch_) return;  // radio toggled during SIFS
+  Frame ack;
+  ack.type = Frame::Type::kAck;
+  ack.src = self_;
+  ack.dst = dst;
+  ack.seq = seq;
+  ack.bytes = params_.ackBytes;
+  recordOwnTx(sim_.now(), sim_.now() + ackDur);
+  ++stats_.ackTx;
+  channel_.startTransmission(self_, std::move(ack), ackDur);
+}
+
+void Mac::saveState(ckpt::Encoder& e) const {
+  for (const std::uint64_t word : rng_.state()) e.u64(word);
+  e.size(queue_.size());
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const Outgoing& out = queue_[i];
+    ckpt::savePacket(e, out.packet);
+    e.i32(out.dst);
+    e.i32(out.attempts);
+    e.u64(out.seq);
+  }
+  e.boolean(attemptScheduled_);
+  e.boolean(transmitting_);
+  e.boolean(awaitingAck_);
+  e.boolean(radioUp_);
+  e.f64(upSince_);
+  e.u64(radioEpoch_);
+  e.u64(nextSeq_);
+  e.u64(awaitedSeq_);
+  e.f64(lastTxStart_);
+  e.f64(lastTxEnd_);
+  e.size(recentTxCount_);
+  e.size(recentTxNext_);
+  for (const auto& [s, end] : recentTx_) {
+    e.f64(s);
+    e.f64(end);
+  }
+  e.size(lastSeqFrom_.size());
+  for (const auto& [src, seq] : lastSeqFrom_) {
+    e.i32(src);
+    e.u64(seq);
+  }
+  e.u64(stats_.enqueued);
+  e.u64(stats_.queueDrops);
+  e.u64(stats_.dataTx);
+  e.u64(stats_.ackTx);
+  e.u64(stats_.retries);
+  e.u64(stats_.retryDrops);
+  e.u64(stats_.ackTimeouts);
+  e.u64(stats_.busyDeferrals);
+  e.u64(stats_.rxData);
+  e.u64(stats_.rxAck);
+  e.u64(stats_.duplicatesSuppressed);
+  e.u64(stats_.radioDownDrops);
+}
+
+void Mac::restoreState(ckpt::Decoder& d) {
+  std::array<std::uint64_t, 4> rngState{};
+  for (std::uint64_t& word : rngState) word = d.u64();
+  rng_.setState(rngState);
+  queue_.clear();
+  const std::size_t nQueued = d.checkedSize(d.u64(), 17);
+  for (std::size_t i = 0; i < nQueued; ++i) {
+    Outgoing out;
+    out.packet = ckpt::loadPacket(d);
+    out.dst = d.i32();
+    out.attempts = d.i32();
+    out.seq = d.u64();
+    queue_.push_back(std::move(out));
+  }
+  attemptScheduled_ = d.boolean();
+  transmitting_ = d.boolean();
+  awaitingAck_ = d.boolean();
+  radioUp_ = d.boolean();
+  upSince_ = d.f64();
+  radioEpoch_ = d.u64();
+  nextSeq_ = d.u64();
+  awaitedSeq_ = d.u64();
+  lastTxStart_ = d.f64();
+  lastTxEnd_ = d.f64();
+  recentTxCount_ = d.size();
+  recentTxNext_ = d.size();
+  if (recentTxCount_ > recentTx_.size() ||
+      recentTxNext_ >= recentTx_.size()) {
+    d.fail("recent-tx ring cursor out of range");
+  }
+  for (auto& [s, end] : recentTx_) {
+    s = d.f64();
+    end = d.f64();
+  }
+  const std::size_t nSeen = d.checkedSize(d.u64(), 12);
+  lastSeqFrom_.clear();
+  lastSeqFrom_.reserve(nSeen);
+  for (std::size_t i = 0; i < nSeen; ++i) {
+    const int src = d.i32();
+    const std::uint64_t seq = d.u64();
+    lastSeqFrom_.emplace_back(src, seq);
+  }
+  stats_.enqueued = d.u64();
+  stats_.queueDrops = d.u64();
+  stats_.dataTx = d.u64();
+  stats_.ackTx = d.u64();
+  stats_.retries = d.u64();
+  stats_.retryDrops = d.u64();
+  stats_.ackTimeouts = d.u64();
+  stats_.busyDeferrals = d.u64();
+  stats_.rxData = d.u64();
+  stats_.rxAck = d.u64();
+  stats_.duplicatesSuppressed = d.u64();
+  stats_.radioDownDrops = d.u64();
+  // Stale handles from the pre-restore life of this object must not be able
+  // to cancel the rebuilt events.
+  attemptHandle_ = {};
+  ackTimeoutHandle_ = {};
+}
+
+void Mac::restoreAttemptEvent(const sim::EventKey& key) {
+  attemptHandle_ = sim_.scheduleKeyed(key, macDesc(ckpt::kMacAttempt, self_),
+                                      [this] { attempt(); });
+}
+
+void Mac::restoreBackoffEvent(const sim::EventKey& key) {
+  attemptHandle_ =
+      sim_.scheduleKeyed(key, macDesc(ckpt::kMacBackoffExpire, self_),
+                         [this] { onBackoffExpire(); });
+}
+
+void Mac::restoreTxEndEvent(const sim::EventKey& key, bool expectAck,
+                            std::uint64_t epoch) {
+  sim::EventDesc desc = macDesc(ckpt::kMacTxEnd, self_);
+  desc.b0 = expectAck ? 1 : 0;
+  desc.u0 = epoch;
+  sim_.scheduleKeyed(key, desc, [this, expectAck, epoch] {
+    onDataTxEnd(expectAck, epoch);
+  });
+}
+
+void Mac::restoreAckTimeoutEvent(const sim::EventKey& key) {
+  ackTimeoutHandle_ =
+      sim_.scheduleKeyed(key, macDesc(ckpt::kMacAckTimeout, self_),
+                         [this] { onAckTimeout(); });
+}
+
+void Mac::restoreAckReplyEvent(const sim::EventKey& key, int dst,
+                               std::uint64_t seq, double ackDur,
+                               std::uint64_t epoch) {
+  sim::EventDesc desc = macDesc(ckpt::kMacAckReply, self_);
+  desc.i1 = dst;
+  desc.u0 = seq;
+  desc.u1 = epoch;
+  desc.f0 = ackDur;
+  sim_.scheduleKeyed(key, desc, [this, dst, seq, ackDur, epoch] {
+    sendAckReply(dst, seq, ackDur, epoch);
+  });
 }
 
 }  // namespace glr::mac

@@ -23,6 +23,11 @@
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 
+namespace glr::ckpt {
+class Encoder;  // checkpoint/codec.hpp
+class Decoder;
+}
+
 namespace glr::mac {
 
 struct MacParams {
@@ -102,6 +107,25 @@ class Mac {
     return radioUp_ && upSince_ <= start;
   }
 
+  /// Checkpoint support: interface queue (packets by content), contention/
+  /// ACK state machine flags, radio gate + epoch, recent-tx ring, duplicate
+  /// table, RNG stream and counters. Event handles are rebuilt by the
+  /// restore*Event methods below, not serialized.
+  void saveState(ckpt::Encoder& e) const;
+  void restoreState(ckpt::Decoder& d);
+
+  /// Restore-path event rebuilders (see checkpoint/event_kinds.hpp). The
+  /// attempt/backoff/ack-timeout variants re-arm the matching cancellation
+  /// handle so a later radio-down flush can still cancel them.
+  void restoreAttemptEvent(const sim::EventKey& key);
+  void restoreBackoffEvent(const sim::EventKey& key);
+  void restoreTxEndEvent(const sim::EventKey& key, bool expectAck,
+                         std::uint64_t epoch);
+  void restoreAckTimeoutEvent(const sim::EventKey& key);
+  void restoreAckReplyEvent(const sim::EventKey& key, int dst,
+                            std::uint64_t seq, double ackDur,
+                            std::uint64_t epoch);
+
  private:
   struct Outgoing {
     net::Packet packet;
@@ -118,6 +142,11 @@ class Mac {
 
   void scheduleAttempt();
   void attempt();
+  /// Backoff countdown finished: transmit if the medium stayed idle.
+  void onBackoffExpire();
+  /// SIFS elapsed after a unicast DATA reception: put the ACK on air.
+  void sendAckReply(int dst, std::uint64_t seq, double ackDur,
+                    std::uint64_t epoch);
   void transmitHead();
   void onDataTxEnd(bool expectAck, std::uint64_t epoch);
   void onAckTimeout();

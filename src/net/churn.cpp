@@ -1,10 +1,25 @@
 #include "net/churn.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <stdexcept>
 
+#include "checkpoint/codec.hpp"
+#include "checkpoint/event_kinds.hpp"
+
 namespace glr::net {
+
+namespace {
+
+sim::EventDesc toggleDesc(std::size_t idx) {
+  sim::EventDesc d;
+  d.kind = ckpt::kChurnToggle;
+  d.u0 = static_cast<std::uint64_t>(idx);
+  return d;
+}
+
+}  // namespace
 
 ChurnProcess::ChurnProcess(World& world, Params params, sim::Rng rng)
     : world_(world), params_(params) {
@@ -41,7 +56,48 @@ void ChurnProcess::scheduleNext(std::size_t idx) {
   sim::Simulator& sim = world_.sim();
   const sim::SimTime at =
       std::max(params_.start, sim.now()) + node.rng.exponential(mean);
-  sim.scheduleAt(at, [this, idx] { toggle(idx); });
+  sim.scheduleAt(at, toggleDesc(idx), [this, idx] { toggle(idx); });
+}
+
+void ChurnProcess::saveState(ckpt::Encoder& e) const {
+  e.size(nodes_.size());
+  for (const NodeState& node : nodes_) {
+    e.i32(node.id);
+    e.boolean(node.up);
+    for (const std::uint64_t word : node.rng.state()) e.u64(word);
+  }
+  e.u64(toggles_);
+}
+
+void ChurnProcess::restoreState(ckpt::Decoder& d) {
+  const std::size_t n = d.size();
+  if (n != nodes_.size()) {
+    d.fail("churning node count mismatch (snapshot " + std::to_string(n) +
+           ", live " + std::to_string(nodes_.size()) + ")");
+  }
+  for (NodeState& node : nodes_) {
+    const int id = d.i32();
+    if (id != node.id) {
+      d.fail("churning node id mismatch (snapshot " + std::to_string(id) +
+             ", live " + std::to_string(node.id) + ")");
+    }
+    node.up = d.boolean();
+    std::array<std::uint64_t, 4> state{};
+    for (std::uint64_t& word : state) word = d.u64();
+    node.rng.setState(state);
+  }
+  toggles_ = d.u64();
+}
+
+void ChurnProcess::restoreToggleEvent(const sim::EventKey& key,
+                                      std::size_t idx) {
+  if (idx >= nodes_.size()) {
+    throw std::runtime_error{
+        "checkpoint: churn toggle event names node index " +
+        std::to_string(idx) + " of " + std::to_string(nodes_.size())};
+  }
+  world_.sim().scheduleKeyed(key, toggleDesc(idx),
+                             [this, idx] { toggle(idx); });
 }
 
 void ChurnProcess::toggle(std::size_t idx) {

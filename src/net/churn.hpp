@@ -17,6 +17,11 @@
 #include "net/world.hpp"
 #include "sim/rng.hpp"
 
+namespace glr::ckpt {
+class Encoder;  // checkpoint/codec.hpp
+class Decoder;
+}
+
 namespace glr::net {
 
 class ChurnProcess {
@@ -42,6 +47,15 @@ class ChurnProcess {
 
   [[nodiscard]] std::size_t churningNodes() const { return nodes_.size(); }
   [[nodiscard]] std::uint64_t toggles() const { return toggles_; }
+
+  /// Checkpoint support: per-node up/rng state and the toggle counter.
+  /// The churning-node id set is construction-derived (verified on restore).
+  void saveState(ckpt::Encoder& e) const;
+  void restoreState(ckpt::Decoder& d);
+
+  /// Re-creates a pending toggle event under its original key (restore
+  /// path; see checkpoint/event_kinds.hpp kChurnToggle, u0 = node index).
+  void restoreToggleEvent(const sim::EventKey& key, std::size_t idx);
 
  private:
   struct NodeState {

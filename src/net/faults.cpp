@@ -1,15 +1,38 @@
 #include "net/faults.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
+#include "checkpoint/codec.hpp"
+#include "checkpoint/event_kinds.hpp"
 #include "mac/channel.hpp"
 
 namespace glr::net {
+
+namespace {
+
+sim::EventDesc faultDesc(ckpt::EventKind kind) {
+  sim::EventDesc d;
+  d.kind = kind;
+  return d;
+}
+
+void saveRng(ckpt::Encoder& e, const sim::Rng& rng) {
+  for (const std::uint64_t word : rng.state()) e.u64(word);
+}
+
+void loadRng(ckpt::Decoder& d, sim::Rng& rng) {
+  std::array<std::uint64_t, 4> state{};
+  for (std::uint64_t& word : state) word = d.u64();
+  rng.setState(state);
+}
+
+}  // namespace
 
 AdversaryModel::AdversaryModel(std::size_t numNodes, Params params,
                                sim::Rng rng)
@@ -166,36 +189,47 @@ void FaultProcess::scheduleBurst() {
   sim::Simulator& sim = world_.sim();
   const sim::SimTime at = std::max(params_.start, sim.now()) +
                           burstRng_.exponential(1.0 / params_.burstRate);
-  sim.scheduleAt(at, [this] {
-    ++counters_.burstsStarted;
-    ++burstsActive_;  // bursts can overlap; loss applies while any is open
-    const double duration = burstRng_.exponential(params_.burstMean);
-    world_.sim().schedule(duration, [this] { --burstsActive_; });
-    scheduleBurst();
-  });
+  sim.scheduleAt(at, faultDesc(ckpt::kFaultBurstNext),
+                 [this] { burstArrive(); });
+}
+
+void FaultProcess::burstArrive() {
+  ++counters_.burstsStarted;
+  ++burstsActive_;  // bursts can overlap; loss applies while any is open
+  const double duration = burstRng_.exponential(params_.burstMean);
+  world_.sim().schedule(duration, faultDesc(ckpt::kFaultBurstEnd),
+                        [this] { burstEnd(); });
+  scheduleBurst();
 }
 
 void FaultProcess::scheduleStall() {
   sim::Simulator& sim = world_.sim();
   const sim::SimTime at = std::max(params_.start, sim.now()) +
                           stallRng_.exponential(1.0 / params_.stallRate);
-  sim.scheduleAt(at, [this] {
-    // Draw victim and duration unconditionally (the draw sequence must not
-    // depend on which nodes happen to be stalled); skip only the toggle.
-    const auto victim =
-        static_cast<int>(stallRng_.below(world_.numNodes()));
-    const double duration = stallRng_.exponential(params_.stallMean);
-    if (!stalled_[static_cast<std::size_t>(victim)]) {
-      stalled_[static_cast<std::size_t>(victim)] = 1;
-      ++counters_.stallsStarted;
-      world_.setRadioUp(victim, false);
-      world_.sim().schedule(duration, [this, victim] {
-        stalled_[static_cast<std::size_t>(victim)] = 0;
-        world_.setRadioUp(victim, true);
-      });
-    }
-    scheduleStall();
-  });
+  sim.scheduleAt(at, faultDesc(ckpt::kFaultStallNext),
+                 [this] { stallArrive(); });
+}
+
+void FaultProcess::stallArrive() {
+  // Draw victim and duration unconditionally (the draw sequence must not
+  // depend on which nodes happen to be stalled); skip only the toggle.
+  const auto victim = static_cast<int>(stallRng_.below(world_.numNodes()));
+  const double duration = stallRng_.exponential(params_.stallMean);
+  if (!stalled_[static_cast<std::size_t>(victim)]) {
+    stalled_[static_cast<std::size_t>(victim)] = 1;
+    ++counters_.stallsStarted;
+    world_.setRadioUp(victim, false);
+    sim::EventDesc desc = faultDesc(ckpt::kFaultStallEnd);
+    desc.i0 = victim;
+    world_.sim().schedule(duration, desc,
+                          [this, victim] { stallEnd(victim); });
+  }
+  scheduleStall();
+}
+
+void FaultProcess::stallEnd(int victim) {
+  stalled_[static_cast<std::size_t>(victim)] = 0;
+  world_.setRadioUp(victim, true);
 }
 
 void FaultProcess::scheduleFlap(int node, bool up) {
@@ -208,11 +242,125 @@ void FaultProcess::scheduleFlap(int node, bool up) {
       up ? params_.adversary.flapUpMean : params_.adversary.flapDownMean;
   const sim::SimTime at =
       std::max(params_.start, sim.now()) + flapRng_.exponential(mean);
-  sim.scheduleAt(at, [this, node, up] {
-    adversary_->noteFlapTransition();
-    world_.setRadioUp(node, !up);
-    scheduleFlap(node, !up);
-  });
+  sim::EventDesc desc = faultDesc(ckpt::kFaultFlap);
+  desc.i0 = node;
+  desc.b0 = up ? 1 : 0;
+  sim.scheduleAt(at, desc, [this, node, up] { flapToggle(node, up); });
+}
+
+void FaultProcess::flapToggle(int node, bool up) {
+  adversary_->noteFlapTransition();
+  world_.setRadioUp(node, !up);
+  scheduleFlap(node, !up);
+}
+
+void AdversaryModel::saveState(ckpt::Encoder& e) const {
+  saveRng(e, greyRng_);
+  e.size(flappingNodes_.size());
+  for (const int node : flappingNodes_) e.i32(node);
+  e.u64(counters_.blackholeDrops);
+  e.u64(counters_.greyholeDrops);
+  e.u64(counters_.selfishRefusals);
+  e.u64(counters_.flapTransitions);
+}
+
+void AdversaryModel::restoreState(ckpt::Decoder& d) {
+  loadRng(d, greyRng_);
+  const std::size_t n = d.checkedSize(d.u64(), 4);
+  if (n != flappingNodes_.size()) {
+    d.fail("flapping node count mismatch (snapshot " + std::to_string(n) +
+           ", live " + std::to_string(flappingNodes_.size()) + ")");
+  }
+  for (const int node : flappingNodes_) {
+    const int saved = d.i32();
+    if (saved != node) {
+      d.fail("flapping node id mismatch (snapshot " + std::to_string(saved) +
+             ", live " + std::to_string(node) + ")");
+    }
+  }
+  counters_.blackholeDrops = d.u64();
+  counters_.greyholeDrops = d.u64();
+  counters_.selfishRefusals = d.u64();
+  counters_.flapTransitions = d.u64();
+}
+
+void FaultProcess::saveState(ckpt::Encoder& e) const {
+  saveRng(e, lossRng_);
+  saveRng(e, burstRng_);
+  saveRng(e, stallRng_);
+  saveRng(e, flapRng_);
+  e.i32(burstsActive_);
+  e.size(stalled_.size());
+  for (const char s : stalled_) e.boolean(s != 0);
+  e.boolean(adversary_.has_value());
+  if (adversary_.has_value()) adversary_->saveState(e);
+  e.u64(counters_.burstsStarted);
+  e.u64(counters_.framesLost);
+  e.u64(counters_.framesCorrupted);
+  e.u64(counters_.stallsStarted);
+}
+
+void FaultProcess::restoreState(ckpt::Decoder& d) {
+  loadRng(d, lossRng_);
+  loadRng(d, burstRng_);
+  loadRng(d, stallRng_);
+  loadRng(d, flapRng_);
+  burstsActive_ = d.i32();
+  const std::size_t n = d.checkedSize(d.u64(), 1);
+  if (n != stalled_.size()) {
+    d.fail("stall bitmap size mismatch (snapshot " + std::to_string(n) +
+           ", live " + std::to_string(stalled_.size()) + ")");
+  }
+  for (char& s : stalled_) s = d.boolean() ? 1 : 0;
+  const bool hasAdversary = d.boolean();
+  if (hasAdversary != adversary_.has_value()) {
+    d.fail("adversary model presence mismatch (config divergence)");
+  }
+  if (adversary_.has_value()) adversary_->restoreState(d);
+  counters_.burstsStarted = d.u64();
+  counters_.framesLost = d.u64();
+  counters_.framesCorrupted = d.u64();
+  counters_.stallsStarted = d.u64();
+}
+
+void FaultProcess::restoreBurstNextEvent(const sim::EventKey& key) {
+  world_.sim().scheduleKeyed(key, faultDesc(ckpt::kFaultBurstNext),
+                             [this] { burstArrive(); });
+}
+
+void FaultProcess::restoreBurstEndEvent(const sim::EventKey& key) {
+  world_.sim().scheduleKeyed(key, faultDesc(ckpt::kFaultBurstEnd),
+                             [this] { burstEnd(); });
+}
+
+void FaultProcess::restoreStallNextEvent(const sim::EventKey& key) {
+  world_.sim().scheduleKeyed(key, faultDesc(ckpt::kFaultStallNext),
+                             [this] { stallArrive(); });
+}
+
+void FaultProcess::restoreStallEndEvent(const sim::EventKey& key, int victim) {
+  if (victim < 0 || static_cast<std::size_t>(victim) >= stalled_.size()) {
+    throw std::runtime_error{"checkpoint: stall-end event names node " +
+                             std::to_string(victim) + " of " +
+                             std::to_string(stalled_.size())};
+  }
+  sim::EventDesc desc = faultDesc(ckpt::kFaultStallEnd);
+  desc.i0 = victim;
+  world_.sim().scheduleKeyed(key, desc,
+                             [this, victim] { stallEnd(victim); });
+}
+
+void FaultProcess::restoreFlapEvent(const sim::EventKey& key, int node,
+                                    bool up) {
+  if (!adversary_.has_value()) {
+    throw std::runtime_error{
+        "checkpoint: flap event present but no adversary model is built"};
+  }
+  sim::EventDesc desc = faultDesc(ckpt::kFaultFlap);
+  desc.i0 = node;
+  desc.b0 = up ? 1 : 0;
+  world_.sim().scheduleKeyed(key, desc,
+                             [this, node, up] { flapToggle(node, up); });
 }
 
 }  // namespace glr::net

@@ -66,6 +66,11 @@
 #include "net/world.hpp"
 #include "sim/rng.hpp"
 
+namespace glr::ckpt {
+class Encoder;  // checkpoint/codec.hpp
+class Decoder;
+}
+
 namespace glr::net {
 
 /// Per-node misbehavior assignment and relay-time decisions. Owned by
@@ -142,6 +147,12 @@ class AdversaryModel {
     return flappingNodes_;
   }
 
+  /// Checkpoint support: greyhole draw stream and counters. Behavior
+  /// assignment is a pure function of (numNodes, params, stream) and is
+  /// reconstructed; restore verifies the flapping-node set matches.
+  void saveState(ckpt::Encoder& e) const;
+  void restoreState(ckpt::Decoder& d);
+
  private:
   Params params_;
   sim::Rng greyRng_;  // per-relayed-copy greyhole drop draws
@@ -201,6 +212,19 @@ class FaultProcess {
     return adversary_.has_value() ? &*adversary_ : nullptr;
   }
 
+  /// Checkpoint support: all four fault RNG streams, the open-burst count,
+  /// the stall bitmap, the adversary model (when built) and the counters.
+  void saveState(ckpt::Encoder& e) const;
+  void restoreState(ckpt::Decoder& d);
+
+  /// Restore-path event rebuilders (see checkpoint/event_kinds.hpp):
+  /// each re-creates one pending fault event under its original key.
+  void restoreBurstNextEvent(const sim::EventKey& key);
+  void restoreBurstEndEvent(const sim::EventKey& key);
+  void restoreStallNextEvent(const sim::EventKey& key);
+  void restoreStallEndEvent(const sim::EventKey& key, int victim);
+  void restoreFlapEvent(const sim::EventKey& key, int node, bool up);
+
  private:
   /// Channel delivery filter: true = deliver. Draws in a fixed order
   /// (burst loss, then corruption) from the loss stream; the channel's
@@ -211,6 +235,12 @@ class FaultProcess {
   /// Schedules the next flap toggle for `node`; `up` is the state the radio
   /// is about to LEAVE (an up phase ends with a down toggle).
   void scheduleFlap(int node, bool up);
+  /// Event bodies, shared by the live schedulers and the restore path.
+  void burstArrive();
+  void burstEnd() { --burstsActive_; }
+  void stallArrive();
+  void stallEnd(int victim);
+  void flapToggle(int node, bool up);
 
   World& world_;
   Params params_;

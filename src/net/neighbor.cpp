@@ -1,9 +1,25 @@
 #include "net/neighbor.hpp"
 
 #include <algorithm>
+#include <array>
 #include <stdexcept>
 
+#include "checkpoint/codec.hpp"
+#include "checkpoint/event_kinds.hpp"
+#include "checkpoint/message_codec.hpp"
+
 namespace glr::net {
+
+namespace {
+
+sim::EventDesc helloDesc(int self) {
+  sim::EventDesc d;
+  d.kind = ckpt::kHello;
+  d.i0 = self;
+  return d;
+}
+
+}  // namespace
 
 NeighborService::NeighborService(sim::Simulator& sim, mac::Mac& mac, int self,
                                  std::function<geom::Point2()> myPosition,
@@ -31,7 +47,7 @@ bool NeighborService::fresh(const NeighborRecord& r) const {
 
 void NeighborService::start() {
   // Desynchronize: first beacon at a uniform offset inside one interval.
-  sim_.schedule(rng_.uniform(0.0, params_.helloInterval),
+  sim_.schedule(rng_.uniform(0.0, params_.helloInterval), helloDesc(self_),
                 [this] { sendHello(); });
 }
 
@@ -85,7 +101,57 @@ void NeighborService::sendHello() {
   // Jittered periodic re-beacon (+/-10%) to avoid phase locking.
   const double next =
       params_.helloInterval * rng_.uniform(0.9, 1.1);
-  sim_.schedule(next, [this] { sendHello(); });
+  sim_.schedule(next, helloDesc(self_), [this] { sendHello(); });
+}
+
+void NeighborService::saveState(ckpt::Encoder& e) const {
+  const auto rngState = rng_.state();
+  for (const std::uint64_t word : rngState) e.u64(word);
+  ckpt::saveUnorderedMap(
+      e, table_,
+      [](ckpt::Encoder& enc, const int id, const NeighborRecord& rec) {
+        enc.i32(id);
+        ckpt::savePoint(enc, rec.pos);
+        enc.f64(rec.heard);
+        enc.size(rec.reported.size());
+        for (const HelloPayload::Entry& entry : rec.reported) {
+          enc.i32(entry.id);
+          ckpt::savePoint(enc, entry.pos);
+          enc.f64(entry.heardAt);
+        }
+      });
+  e.u64(hellosSent_);
+  e.u64(hellosReceived_);
+  e.u64(helloSendFailures_);
+}
+
+void NeighborService::restoreState(ckpt::Decoder& d) {
+  std::array<std::uint64_t, 4> rngState{};
+  for (std::uint64_t& word : rngState) word = d.u64();
+  rng_.setState(rngState);
+  ckpt::loadUnorderedMap(d, table_, [](ckpt::Decoder& dec) {
+    const int id = dec.i32();
+    NeighborRecord rec;
+    rec.pos = ckpt::loadPoint(dec);
+    rec.heard = dec.f64();
+    const std::size_t n = dec.checkedSize(dec.u64(), 20);
+    rec.reported.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      HelloPayload::Entry entry;
+      entry.id = dec.i32();
+      entry.pos = ckpt::loadPoint(dec);
+      entry.heardAt = dec.f64();
+      rec.reported.push_back(entry);
+    }
+    return std::pair<int, NeighborRecord>{id, std::move(rec)};
+  });
+  hellosSent_ = d.u64();
+  hellosReceived_ = d.u64();
+  helloSendFailures_ = d.u64();
+}
+
+void NeighborService::restoreHelloEvent(const sim::EventKey& key) {
+  sim_.scheduleKeyed(key, helloDesc(self_), [this] { sendHello(); });
 }
 
 bool NeighborService::handlePacket(const Packet& packet, int /*fromMac*/) {

@@ -23,6 +23,11 @@
 #include "sim/simulator.hpp"
 #include "spanner/ldtg.hpp"
 
+namespace glr::ckpt {
+class Encoder;  // checkpoint/codec.hpp
+class Decoder;
+}
+
 namespace glr::net {
 
 /// In-simulator hello beacon payload.
@@ -114,6 +119,17 @@ class NeighborService {
   [[nodiscard]] std::uint64_t helloSendFailures() const {
     return helloSendFailures_;
   }
+
+  /// Checkpoint support. The neighbor table's *iteration order* is
+  /// observable (it drives hello payload order and knowledge(), which drive
+  /// LDTG construction and routing), so it round-trips through the
+  /// order-preserving container codec.
+  void saveState(ckpt::Encoder& e) const;
+  void restoreState(ckpt::Decoder& d);
+
+  /// Re-creates a pending hello beacon event under its original key
+  /// (restore path; see checkpoint/event_kinds.hpp kHello).
+  void restoreHelloEvent(const sim::EventKey& key);
 
  private:
   struct NeighborRecord {

@@ -1,8 +1,22 @@
 #include "net/world.hpp"
 
 #include <stdexcept>
+#include <string>
+
+#include "checkpoint/event_kinds.hpp"
 
 namespace glr::net {
+
+namespace {
+
+sim::EventDesc startDesc(int id) {
+  sim::EventDesc d;
+  d.kind = ckpt::kAgentStart;
+  d.i0 = id;
+  return d;
+}
+
+}  // namespace
 
 World::World(sim::Simulator& sim, const phy::PropagationModel& model,
              const phy::RadioParams& radio, mac::MacParams macParams)
@@ -115,12 +129,27 @@ Agent& World::agentOf(int id) {
 }
 
 void World::start() {
-  for (auto& node : nodes_) {
-    if (node.agent) {
-      Agent* raw = node.agent.get();
-      sim_.schedule(0.0, [raw] { raw->start(); });
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].agent) {
+      Agent* raw = nodes_[i].agent.get();
+      sim_.schedule(0.0, startDesc(static_cast<int>(i)),
+                    [raw] { raw->start(); });
     }
   }
+}
+
+void World::invalidatePositionCache() {
+  for (sim::SimTime& at : posAt_) at = -1.0;
+}
+
+void World::restoreAgentStartEvent(const sim::EventKey& key, int id) {
+  Node& node = nodes_.at(static_cast<std::size_t>(id));
+  if (!node.agent) {
+    throw std::runtime_error{"checkpoint: agent-start event names node " +
+                             std::to_string(id) + " which has no agent"};
+  }
+  Agent* raw = node.agent.get();
+  sim_.scheduleKeyed(key, startDesc(id), [raw] { raw->start(); });
 }
 
 }  // namespace glr::net

@@ -133,6 +133,16 @@ class World {
   /// Schedules every agent's start() at t = 0 (call before sim.run()).
   void start();
 
+  /// Checkpoint restore support: expires every epoch position-cache entry
+  /// so the first post-restore query re-evaluates each node's mobility
+  /// model at the restored clock (positions are pure functions of t for
+  /// every built-in model, so mobility itself carries no serialized state).
+  void invalidatePositionCache();
+
+  /// Re-creates a pending agent-start event under its original key (only
+  /// possible for a t = 0 checkpoint; see event_kinds.hpp kAgentStart).
+  void restoreAgentStartEvent(const sim::EventKey& key, int id);
+
  private:
   struct Node {
     std::unique_ptr<mobility::MobilityModel> mobility;

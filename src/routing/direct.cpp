@@ -1,8 +1,25 @@
 #include "routing/direct.hpp"
 
+#include <array>
+#include <stdexcept>
+
+#include "checkpoint/codec.hpp"
+#include "checkpoint/event_kinds.hpp"
+#include "checkpoint/message_codec.hpp"
 #include "trace/recorder.hpp"
 
 namespace glr::routing {
+
+namespace {
+
+sim::EventDesc checkDesc(int self) {
+  sim::EventDesc d;
+  d.kind = ckpt::kDirectCheck;
+  d.i0 = self;
+  return d;
+}
+
+}  // namespace
 
 DirectDeliveryAgent::DirectDeliveryAgent(net::World& world, int self,
                                          DirectParams params,
@@ -22,7 +39,7 @@ DirectDeliveryAgent::DirectDeliveryAgent(net::World& world, int self,
 void DirectDeliveryAgent::start() {
   neighbors_.start();
   world_.sim().schedule(rng_.uniform(0.0, params_.checkInterval),
-                        [this] { check(); });
+                        checkDesc(self_), [this] { check(); });
 }
 
 void DirectDeliveryAgent::originate(int dstNode) {
@@ -60,7 +77,8 @@ void DirectDeliveryAgent::check() {
       ++sendRejects_;
     }
   }
-  world_.sim().schedule(params_.checkInterval, [this] { check(); });
+  world_.sim().schedule(params_.checkInterval, checkDesc(self_),
+                        [this] { check(); });
 }
 
 void DirectDeliveryAgent::onPacket(const net::Packet& packet, int fromMac) {
@@ -70,6 +88,49 @@ void DirectDeliveryAgent::onPacket(const net::Packet& packet, int fromMac) {
   if (pm == nullptr || pm->dstNode != self_) return;
   if (deliveredHere_.insert(pm->id).second && metrics_ != nullptr) {
     metrics_->onDelivered(*pm, world_.sim().now(), pm->hops + 1);
+  }
+}
+
+void DirectDeliveryAgent::saveState(ckpt::Encoder& e) const {
+  for (const std::uint64_t word : rng_.state()) e.u64(word);
+  neighbors_.saveState(e);
+  buffer_.saveState(e);
+  ckpt::saveUnorderedSet(e, deliveredHere_,
+                         [](ckpt::Encoder& enc, const dtn::MessageId& id) {
+                           ckpt::saveMessageId(enc, id);
+                         });
+  e.u64(dataSent_);
+  e.u64(sendRejects_);
+  e.i32(nextSeq_);
+}
+
+void DirectDeliveryAgent::restoreState(ckpt::Decoder& d) {
+  std::array<std::uint64_t, 4> rngState{};
+  for (std::uint64_t& word : rngState) word = d.u64();
+  rng_.setState(rngState);
+  neighbors_.restoreState(d);
+  buffer_.restoreState(d);
+  ckpt::loadUnorderedSet(d, deliveredHere_, [](ckpt::Decoder& dec) {
+    return ckpt::loadMessageId(dec);
+  });
+  dataSent_ = d.u64();
+  sendRejects_ = d.u64();
+  nextSeq_ = d.i32();
+}
+
+void DirectDeliveryAgent::restoreEvent(const sim::EventKey& key,
+                                       const sim::EventDesc& desc) {
+  switch (desc.kind) {
+    case ckpt::kHello:
+      neighbors_.restoreHelloEvent(key);
+      return;
+    case ckpt::kDirectCheck:
+      world_.sim().scheduleKeyed(key, checkDesc(self_), [this] { check(); });
+      return;
+    default:
+      throw std::runtime_error{
+          "DirectDeliveryAgent: cannot restore event kind " +
+          std::to_string(static_cast<int>(desc.kind))};
   }
 }
 

@@ -54,6 +54,14 @@ class DirectDeliveryAgent final : public DtnAgent {
     out.bufferEvictions += buffer_.dropCount();
   }
 
+  /// Checkpoint support: hello service, buffer, delivered set, counters and
+  /// RNG. Pending events (hello beacon, delivery check) are rebuilt via
+  /// restoreEvent.
+  void saveState(ckpt::Encoder& e) const override;
+  void restoreState(ckpt::Decoder& d) override;
+  void restoreEvent(const sim::EventKey& key,
+                    const sim::EventDesc& desc) override;
+
  private:
   void check();
   [[nodiscard]] geom::Point2 myPos() { return world_.positionOf(self_); }

@@ -8,6 +8,11 @@
 
 #include "net/world.hpp"
 
+namespace glr::ckpt {
+class Encoder;  // checkpoint/codec.hpp
+class Decoder;
+}
+
 namespace glr::routing {
 
 /// Protocol counters a routing agent can export to the experiment harness
@@ -56,6 +61,18 @@ class DtnAgent : public net::Agent {
   virtual void harvestCounters(ProtocolCounters& out) const {
     static_cast<void>(out);
   }
+
+  /// Checkpoint support. The defaults throw: a protocol that cannot
+  /// serialize itself fails loudly at the first snapshot instead of
+  /// silently producing checkpoints missing its state. (Kept non-pure so
+  /// test stubs that never checkpoint don't have to implement them.)
+  virtual void saveState(ckpt::Encoder& e) const;
+  virtual void restoreState(ckpt::Decoder& d);
+  /// Re-creates one pending simulator event this agent owns, under its
+  /// original key. `desc` is the descriptor recorded at schedule time (see
+  /// checkpoint/event_kinds.hpp); agents throw on kinds they don't own.
+  virtual void restoreEvent(const sim::EventKey& key,
+                            const sim::EventDesc& desc);
 };
 
 }  // namespace glr::routing

@@ -1,10 +1,27 @@
 #include "routing/epidemic.hpp"
 
+#include <array>
+#include <stdexcept>
+
+#include "checkpoint/codec.hpp"
+#include "checkpoint/event_kinds.hpp"
+#include "checkpoint/message_codec.hpp"
 #include "trace/recorder.hpp"
 
 #include "net/faults.hpp"
 
 namespace glr::routing {
+
+namespace {
+
+sim::EventDesc exchangeDesc(int self) {
+  sim::EventDesc d;
+  d.kind = ckpt::kEpidemicExchange;
+  d.i0 = self;
+  return d;
+}
+
+}  // namespace
 
 EpidemicAgent::EpidemicAgent(net::World& world, int self,
                              EpidemicParams params,
@@ -25,7 +42,7 @@ EpidemicAgent::EpidemicAgent(net::World& world, int self,
 void EpidemicAgent::start() {
   neighbors_.start();
   world_.sim().schedule(rng_.uniform(0.0, params_.exchangeCheckInterval),
-                        [this] { exchangeTick(); });
+                        exchangeDesc(self_), [this] { exchangeTick(); });
 }
 
 void EpidemicAgent::exchangeTick() {
@@ -45,7 +62,7 @@ void EpidemicAgent::exchangeTick() {
       sendSummary(j, /*full=*/false);
     }
   }
-  world_.sim().schedule(params_.exchangeCheckInterval,
+  world_.sim().schedule(params_.exchangeCheckInterval, exchangeDesc(self_),
                         [this] { exchangeTick(); });
 }
 
@@ -179,6 +196,107 @@ void EpidemicAgent::onPacket(const net::Packet& packet, int fromMac) {
       // which also stops neighbors from re-sending it here.
     }
     addMessage(std::move(m));
+  }
+}
+
+void EpidemicAgent::saveState(ckpt::Encoder& e) const {
+  for (const std::uint64_t word : rng_.state()) e.u64(word);
+  neighbors_.saveState(e);
+  buffer_.saveState(e);
+  ckpt::saveUnorderedSet(e, deliveredHere_,
+                         [](ckpt::Encoder& enc, const dtn::MessageId& id) {
+                           ckpt::saveMessageId(enc, id);
+                         });
+  e.size(additions_.size());
+  for (const auto& [seq, id] : additions_) {
+    e.u64(seq);
+    ckpt::saveMessageId(e, id);
+  }
+  e.u64(addSeq_);
+  ckpt::saveUnorderedMap(
+      e, offeredUpTo_,
+      [](ckpt::Encoder& enc, const int id, const std::uint64_t seq) {
+        enc.i32(id);
+        enc.u64(seq);
+      });
+  ckpt::saveUnorderedMap(
+      e, lastOfferAt_,
+      [](ckpt::Encoder& enc, const int id, const sim::SimTime at) {
+        enc.i32(id);
+        enc.f64(at);
+      });
+  ckpt::saveUnorderedMap(
+      e, requestedAt_,
+      [](ckpt::Encoder& enc, const dtn::MessageId& id, const sim::SimTime at) {
+        ckpt::saveMessageId(enc, id);
+        enc.f64(at);
+      });
+  e.u64(counters_.summariesSent);
+  e.u64(counters_.requestsSent);
+  e.u64(counters_.dataSent);
+  e.u64(counters_.dataReceived);
+  e.u64(counters_.duplicatesDropped);
+  e.u64(counters_.deliveredHere);
+  e.u64(counters_.sendRejects);
+  e.i32(nextSeq_);
+}
+
+void EpidemicAgent::restoreState(ckpt::Decoder& d) {
+  std::array<std::uint64_t, 4> rngState{};
+  for (std::uint64_t& word : rngState) word = d.u64();
+  rng_.setState(rngState);
+  neighbors_.restoreState(d);
+  buffer_.restoreState(d);
+  ckpt::loadUnorderedSet(d, deliveredHere_, [](ckpt::Decoder& dec) {
+    return ckpt::loadMessageId(dec);
+  });
+  const std::size_t nAdd = d.checkedSize(d.u64(), 12);
+  additions_.clear();
+  additions_.reserve(nAdd);
+  for (std::size_t i = 0; i < nAdd; ++i) {
+    const std::uint64_t seq = d.u64();
+    additions_.emplace_back(seq, ckpt::loadMessageId(d));
+  }
+  addSeq_ = d.u64();
+  ckpt::loadUnorderedMap(d, offeredUpTo_, [](ckpt::Decoder& dec) {
+    const int id = dec.i32();
+    const std::uint64_t seq = dec.u64();
+    return std::pair<int, std::uint64_t>{id, seq};
+  });
+  ckpt::loadUnorderedMap(d, lastOfferAt_, [](ckpt::Decoder& dec) {
+    const int id = dec.i32();
+    const sim::SimTime at = dec.f64();
+    return std::pair<int, sim::SimTime>{id, at};
+  });
+  ckpt::loadUnorderedMap(d, requestedAt_, [](ckpt::Decoder& dec) {
+    const dtn::MessageId id = ckpt::loadMessageId(dec);
+    const sim::SimTime at = dec.f64();
+    return std::pair<dtn::MessageId, sim::SimTime>{id, at};
+  });
+  counters_.summariesSent = d.u64();
+  counters_.requestsSent = d.u64();
+  counters_.dataSent = d.u64();
+  counters_.dataReceived = d.u64();
+  counters_.duplicatesDropped = d.u64();
+  counters_.deliveredHere = d.u64();
+  counters_.sendRejects = d.u64();
+  nextSeq_ = d.i32();
+}
+
+void EpidemicAgent::restoreEvent(const sim::EventKey& key,
+                                 const sim::EventDesc& desc) {
+  switch (desc.kind) {
+    case ckpt::kHello:
+      neighbors_.restoreHelloEvent(key);
+      return;
+    case ckpt::kEpidemicExchange:
+      world_.sim().scheduleKeyed(key, exchangeDesc(self_),
+                                 [this] { exchangeTick(); });
+      return;
+    default:
+      throw std::runtime_error{
+          "EpidemicAgent: cannot restore event kind " +
+          std::to_string(static_cast<int>(desc.kind))};
   }
 }
 

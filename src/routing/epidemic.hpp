@@ -104,6 +104,14 @@ class EpidemicAgent final : public DtnAgent {
   [[nodiscard]] const EpidemicCounters& counters() const { return counters_; }
   [[nodiscard]] const dtn::MessageBuffer& buffer() const { return buffer_; }
 
+  /// Checkpoint support: hello service, buffer, delivered set, delta-offer
+  /// log/watermarks, request window, counters and RNG. Pending events
+  /// (hello beacon, exchange tick) are rebuilt via restoreEvent.
+  void saveState(ckpt::Encoder& e) const override;
+  void restoreState(ckpt::Decoder& d) override;
+  void restoreEvent(const sim::EventKey& key,
+                    const sim::EventDesc& desc) override;
+
  private:
   /// Offers message ids to `to`: those added after the per-neighbor
   /// watermark (0 == full buffer, used on fresh contacts).

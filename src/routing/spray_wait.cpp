@@ -1,10 +1,27 @@
 #include "routing/spray_wait.hpp"
 
+#include <array>
+#include <stdexcept>
+
+#include "checkpoint/codec.hpp"
+#include "checkpoint/event_kinds.hpp"
+#include "checkpoint/message_codec.hpp"
 #include "trace/recorder.hpp"
 
 #include "net/faults.hpp"
 
 namespace glr::routing {
+
+namespace {
+
+sim::EventDesc expiryDesc(int self) {
+  sim::EventDesc d;
+  d.kind = ckpt::kSprayExpiry;
+  d.i0 = self;
+  return d;
+}
+
+}  // namespace
 
 SprayWaitAgent::SprayWaitAgent(net::World& world, int self,
                                SprayWaitParams params,
@@ -27,7 +44,7 @@ void SprayWaitAgent::start() {
   // execute a bit-identical event sequence to the historical behavior.
   if (params_.messageTtl > 0.0) {
     world_.sim().schedule(rng_.uniform(0.0, params_.expiryCheckInterval),
-                          [this] { expiryTick(); });
+                          expiryDesc(self_), [this] { expiryTick(); });
   }
 }
 
@@ -42,7 +59,8 @@ void SprayWaitAgent::expiryTick() {
       }
     }
   }
-  world_.sim().schedule(params_.expiryCheckInterval, [this] { expiryTick(); });
+  world_.sim().schedule(params_.expiryCheckInterval, expiryDesc(self_),
+                        [this] { expiryTick(); });
 }
 
 void SprayWaitAgent::originate(int dstNode) {
@@ -173,6 +191,67 @@ void SprayWaitAgent::onPacket(const net::Packet& packet, int fromMac) {
         if (j != fromMac) onContact(j);
       }
     }
+  }
+}
+
+void SprayWaitAgent::saveState(ckpt::Encoder& e) const {
+  for (const std::uint64_t word : rng_.state()) e.u64(word);
+  neighbors_.saveState(e);
+  buffer_.saveState(e);
+  ckpt::saveUnorderedMap(
+      e, budget_,
+      [](ckpt::Encoder& enc, const dtn::MessageId& id, const int b) {
+        ckpt::saveMessageId(enc, id);
+        enc.i32(b);
+      });
+  ckpt::saveUnorderedSet(e, deliveredHere_,
+                         [](ckpt::Encoder& enc, const dtn::MessageId& id) {
+                           ckpt::saveMessageId(enc, id);
+                         });
+  e.u64(dataSent_);
+  e.u64(dataReceived_);
+  e.u64(sendRejects_);
+  e.i32(nextSeq_);
+}
+
+void SprayWaitAgent::restoreState(ckpt::Decoder& d) {
+  std::array<std::uint64_t, 4> rngState{};
+  for (std::uint64_t& word : rngState) word = d.u64();
+  rng_.setState(rngState);
+  neighbors_.restoreState(d);
+  buffer_.restoreState(d);
+  ckpt::loadUnorderedMap(d, budget_, [](ckpt::Decoder& dec) {
+    const dtn::MessageId id = ckpt::loadMessageId(dec);
+    const int b = dec.i32();
+    return std::pair<dtn::MessageId, int>{id, b};
+  });
+  ckpt::loadUnorderedSet(d, deliveredHere_, [](ckpt::Decoder& dec) {
+    return ckpt::loadMessageId(dec);
+  });
+  dataSent_ = d.u64();
+  dataReceived_ = d.u64();
+  sendRejects_ = d.u64();
+  nextSeq_ = d.i32();
+}
+
+void SprayWaitAgent::restoreEvent(const sim::EventKey& key,
+                                  const sim::EventDesc& desc) {
+  switch (desc.kind) {
+    case ckpt::kHello:
+      neighbors_.restoreHelloEvent(key);
+      return;
+    case ckpt::kSprayExpiry:
+      if (params_.messageTtl <= 0.0) {
+        throw std::runtime_error{
+            "SprayWaitAgent: expiry event restored but no TTL configured"};
+      }
+      world_.sim().scheduleKeyed(key, expiryDesc(self_),
+                                 [this] { expiryTick(); });
+      return;
+    default:
+      throw std::runtime_error{
+          "SprayWaitAgent: cannot restore event kind " +
+          std::to_string(static_cast<int>(desc.kind))};
   }
 }
 

@@ -72,6 +72,14 @@ class SprayWaitAgent final : public DtnAgent {
     out.expiredDrops += buffer_.expiredCount();
   }
 
+  /// Checkpoint support: hello service, buffer, per-id copy budgets,
+  /// delivered set, counters and RNG. Pending events (hello beacon, expiry
+  /// sweep when a TTL is configured) are rebuilt via restoreEvent.
+  void saveState(ckpt::Encoder& e) const override;
+  void restoreState(ckpt::Decoder& d) override;
+  void restoreEvent(const sim::EventKey& key,
+                    const sim::EventDesc& desc) override;
+
  private:
   void onContact(int id);
   void expiryTick();

@@ -8,6 +8,7 @@
 /// (placement, mobility, traffic, MAC jitter, ...). Perturbing one subsystem
 /// therefore never changes the random draws seen by another.
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -82,6 +83,16 @@ class Rng {
 
   /// True with probability p (clamped to [0,1]).
   [[nodiscard]] bool bernoulli(double p) { return uniform01() < p; }
+
+  /// The full 256-bit generator state, for checkpoint/restore. A stream
+  /// restored via setState() continues its draw sequence exactly where
+  /// state() captured it.
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void setState(const std::array<std::uint64_t, 4>& words) {
+    for (std::size_t i = 0; i < 4; ++i) s_[i] = words[i];
+  }
 
  private:
   std::uint64_t next() {

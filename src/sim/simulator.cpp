@@ -1,9 +1,21 @@
 #include "sim/simulator.hpp"
 
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
 namespace glr::sim {
+
+namespace {
+
+std::uint64_t steadyNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 void Simulator::heapPopTop() {
   const HeapKey last = heapKeys_.back();
@@ -148,9 +160,114 @@ std::uint64_t Simulator::fireTop() {
   // the slab, and it has not run yet.
   Callback fn = std::move(s.fn);
   releaseSlot(aux.slot);
-  fn();
+  // Counted before invoking so a checkpoint written from inside a callback
+  // includes the event in progress — the restored run will not re-run it.
   ++executed_;
+  fn();
   return 1;
+}
+
+std::vector<Simulator::PendingEvent> Simulator::pendingEvents() {
+  if (!descEnabled_) {
+    throw std::logic_error{
+        "Simulator::pendingEvents: event descriptions are not enabled"};
+  }
+  // Drain every record in fire order, shedding stale (cancelled) ones, then
+  // re-insert the survivors. Re-insertion in ascending key order is cheap in
+  // both modes (heap pushes never sift, calendar pushes are O(1)) and cannot
+  // change the fire sequence: pops always take the exact (time, seq)
+  // minimum, whatever the internal layout.
+  std::vector<std::pair<HeapKey, HeapAux>> records;
+  records.reserve(queueSize());
+  while (!qEmpty()) {
+    const HeapKey key = qTopKey();
+    const HeapAux aux = qTopAux();
+    qPop();
+    if (stale(aux)) {
+      --staleCount_;
+      continue;
+    }
+    records.emplace_back(key, aux);
+  }
+  staleCount_ = 0;
+  std::vector<PendingEvent> out;
+  out.reserve(records.size());
+  for (const auto& [key, aux] : records) {
+    if (cal_) {
+      cal_->push(key, aux);
+    } else {
+      heapPush(key, aux);
+    }
+    // Events scheduled before descriptor storage was enabled fall outside
+    // descs_; report them as undescribed so the checkpoint writer can refuse
+    // loudly instead of silently losing them.
+    out.push_back(PendingEvent{
+        key, aux.slot < descs_.size() ? descs_[aux.slot] : EventDesc{}});
+  }
+  return out;
+}
+
+EventHandle Simulator::scheduleKeyed(EventKey key, const EventDesc& desc,
+                                     Callback fn) {
+  if (!fn) {
+    throw std::invalid_argument{"Simulator::scheduleKeyed: empty callback"};
+  }
+  if (bitsToTime(key.timeBits) < now_) {
+    throw std::invalid_argument{
+        "Simulator::scheduleKeyed: event time is in the past"};
+  }
+  if (key.seq >= nextSeq_) {
+    throw std::invalid_argument{
+        "Simulator::scheduleKeyed: seq not covered by restored clock"};
+  }
+  const std::uint32_t slot = acquireSlot();
+  if (descEnabled_) {
+    if (descs_.size() < slab_.size()) descs_.resize(slab_.size());
+    descs_[slot] = desc;
+  }
+  Slot& s = slab_[slot];
+  s.fn = std::move(fn);
+  const HeapAux aux{slot, s.generation};
+  if (cal_) {
+    cal_->push(key, aux);
+  } else {
+    heapPush(key, aux);
+  }
+  return EventHandle{this, slot, s.generation};
+}
+
+void Simulator::clearPending() {
+  while (!qEmpty()) {
+    const HeapAux aux = qTopAux();
+    qPop();
+    if (!stale(aux)) releaseSlot(aux.slot);
+  }
+  staleCount_ = 0;
+}
+
+void Simulator::restoreClock(SimTime now, std::uint64_t nextSeq,
+                             std::uint64_t executed) {
+  if (queueSize() != 0) {
+    throw std::logic_error{"Simulator::restoreClock: queue must be empty"};
+  }
+  now_ = now;
+  nextSeq_ = nextSeq;
+  executed_ = executed;
+}
+
+void Simulator::setWallDeadline(double seconds) {
+  if (seconds <= 0.0) {
+    wallDeadlineNs_ = 0;
+    return;
+  }
+  wallDeadlineNs_ =
+      steadyNowNs() + static_cast<std::uint64_t>(seconds * 1e9);
+}
+
+void Simulator::checkWallDeadline() {
+  if (steadyNowNs() >= wallDeadlineNs_) {
+    throw WallClockTimeout{"Simulator::run: wall-clock deadline exceeded"};
+  }
 }
 
 std::uint64_t Simulator::run(SimTime until) {
@@ -170,6 +287,9 @@ std::uint64_t Simulator::run(SimTime until) {
       break;
     }
     ran += fireTop();
+    if (wallDeadlineNs_ != 0 && (++wallCheckTick_ & kWallCheckMask) == 0) {
+      checkWallDeadline();
+    }
   }
   // The old kernel skipped cancelled heads before observing stop(), so a
   // queue holding only dead records still counted as drained.
@@ -183,6 +303,9 @@ std::uint64_t Simulator::step(std::uint64_t n) {
   std::uint64_t ran = 0;
   while (ran < n && !qEmpty() && !stopped_) {
     ran += fireTop();
+    if (wallDeadlineNs_ != 0 && (++wallCheckTick_ & kWallCheckMask) == 0) {
+      checkWallDeadline();
+    }
   }
   return ran;
 }

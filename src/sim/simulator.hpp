@@ -36,6 +36,34 @@ using SimTime = double;
 
 class Simulator;
 
+/// Optional per-event description: a small POD tag that lets the checkpoint
+/// layer re-create a pending event's callback after a restore (closures are
+/// not serializable, so each schedule site names itself and its captures
+/// here instead). Field meaning is owned by the schedule sites — see
+/// checkpoint/event_kinds.hpp; the kernel only stores and returns the tag.
+/// kind == 0 means "undescribed": the checkpoint writer refuses to snapshot
+/// a queue holding an undescribed live event, so a forgotten tag is a loud
+/// error at snapshot time, never silent divergence at restore time.
+struct EventDesc {
+  std::uint16_t kind = 0;
+  std::uint8_t b0 = 0;
+  std::uint8_t b1 = 0;
+  std::int32_t i0 = 0;
+  std::int32_t i1 = 0;
+  std::uint64_t u0 = 0;
+  std::uint64_t u1 = 0;
+  double f0 = 0.0;
+  double f1 = 0.0;
+};
+
+/// Thrown by run()/step() when a wall-clock deadline armed via
+/// setWallDeadline() expires. The sweep watchdog catches this to count and
+/// retry hung cells instead of letting them stall a whole experiment.
+class WallClockTimeout : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 /// Cancellation token for a scheduled event: a trivially-copyable
 /// `{slot, generation}` pair into the owning simulator's slab. Default-
 /// constructed handles are inert; `cancel()` on an already-fired event is a
@@ -112,6 +140,66 @@ class Simulator {
     return scheduleAt(now_ + delay, std::move(fn));
   }
 
+  /// Tagged variants: identical scheduling semantics, but the descriptor is
+  /// recorded alongside the event when enableEventDescriptions() is active
+  /// (one predicted branch and a 48-byte store; nothing when inactive).
+  EventHandle scheduleAt(SimTime t, const EventDesc& desc, Callback fn);
+  EventHandle schedule(SimTime delay, const EventDesc& desc, Callback fn) {
+    return scheduleAt(now_ + delay, desc, std::move(fn));
+  }
+
+  /// Turns on descriptor storage. Must be enabled before the first schedule
+  /// for pendingEvents() to see every live event described.
+  void enableEventDescriptions() { descEnabled_ = true; }
+  [[nodiscard]] bool eventDescriptionsEnabled() const { return descEnabled_; }
+
+  /// One live pending event, as the checkpoint layer sees it.
+  struct PendingEvent {
+    EventKey key;
+    EventDesc desc;
+  };
+
+  /// Snapshot of every live (non-cancelled) pending event in exact fire
+  /// order. Requires enableEventDescriptions(). Internally drains and
+  /// re-inserts the queue records; the observable event sequence is
+  /// unchanged — both queue modes pop the exact (time, seq) minimum
+  /// regardless of internal layout, so re-insertion cannot reorder fires.
+  [[nodiscard]] std::vector<PendingEvent> pendingEvents();
+
+  /// Restore support: re-creates one pending event under an exact
+  /// pre-assigned (timeBits, seq) key so tie-breaking after a restore is
+  /// bit-identical to the snapshotted run. The key must lie in the past of
+  /// nextSeq (set via restoreClock first) and not before now().
+  EventHandle scheduleKeyed(EventKey key, const EventDesc& desc, Callback fn);
+
+  /// Restore support: discards every queued record (cancelled ones included)
+  /// and releases their slots. The clock and counters are untouched.
+  void clearPending();
+
+  /// Restore support: overwrites clock, sequence counter and executed-event
+  /// counter. Only legal while the queue is empty.
+  void restoreClock(SimTime now, std::uint64_t nextSeq, std::uint64_t executed);
+
+  /// Next insertion-order sequence number (checkpointed so restored runs
+  /// break ties identically).
+  [[nodiscard]] std::uint64_t nextSeq() const { return nextSeq_; }
+
+  /// Canonical time <-> ordering-bit-pattern conversion. Public because
+  /// event keys are persisted as bit patterns (checkpoint layer, tools).
+  static std::uint64_t timeToBits(SimTime t) {
+    // +0.0 canonicalizes -0.0 (whose bit pattern would misorder).
+    return std::bit_cast<std::uint64_t>(t + 0.0);
+  }
+
+  static SimTime bitsToTime(std::uint64_t bits) {
+    return std::bit_cast<SimTime>(bits);
+  }
+
+  /// Arms a wall-clock deadline: run()/step() throw WallClockTimeout once
+  /// `seconds` of wall time elapse, checked every few thousand events so the
+  /// hot loop cost is one counter increment. seconds <= 0 disarms.
+  void setWallDeadline(double seconds);
+
   /// Runs events in time order until the queue is empty, `until` is reached,
   /// or `stop()` is called. Events scheduled exactly at `until` do fire.
   /// Returns the number of events executed by this call.
@@ -171,15 +259,6 @@ class Simulator {
   /// queue (calendar_queue.hpp) so both modes order the same data.
   using HeapKey = EventKey;
   using HeapAux = EventAux;
-
-  static std::uint64_t timeToBits(SimTime t) {
-    // +0.0 canonicalizes -0.0 (whose bit pattern would misorder).
-    return std::bit_cast<std::uint64_t>(t + 0.0);
-  }
-
-  static SimTime bitsToTime(std::uint64_t bits) {
-    return std::bit_cast<SimTime>(bits);
-  }
 
   static bool earlier(const HeapKey& a, const HeapKey& b) {
     // Distinct times dominate and the equality branch predicts ~always
@@ -271,6 +350,17 @@ class Simulator {
     return slot < slab_.size() && slab_[slot].generation == generation;
   }
 
+  /// Shared body of the tagged and untagged schedule paths. `desc` is null
+  /// for the untagged overload (stored as kind 0 = undescribed when
+  /// descriptor storage is on, so slot reuse never leaks a stale tag).
+  EventHandle scheduleTagged(SimTime t, const EventDesc* desc, Callback fn);
+
+  /// Throws WallClockTimeout if the armed deadline has passed. Out of line:
+  /// only reached every kWallCheckMask+1 events.
+  void checkWallDeadline();
+
+  static constexpr std::uint64_t kWallCheckMask = 0x1FFF;
+
   std::vector<Slot> slab_;
   std::uint32_t freeHead_ = kNilSlot;
   std::vector<HeapKey> heapKeys_;
@@ -281,10 +371,19 @@ class Simulator {
   /// Heap records whose event was cancelled (fired events pop immediately,
   /// cancelled ones linger); drives the compaction heuristic.
   std::size_t staleCount_ = 0;
+  /// Per-slot event descriptors, parallel to `slab_`. Grown lazily and only
+  /// when descriptor storage is enabled, so checkpoint-less runs pay no
+  /// memory for it.
+  std::vector<EventDesc> descs_;
   SimTime now_ = 0;
   std::uint64_t nextSeq_ = 0;
   std::uint64_t executed_ = 0;
   bool stopped_ = false;
+  bool descEnabled_ = false;
+  /// Wall-clock deadline (steady-clock nanoseconds since epoch; 0 = none)
+  /// and the event counter that rate-limits the clock reads.
+  std::uint64_t wallDeadlineNs_ = 0;
+  std::uint64_t wallCheckTick_ = 0;
 };
 
 inline void EventHandle::cancel() {
@@ -295,7 +394,8 @@ inline bool EventHandle::pending() const {
   return sim_ != nullptr && sim_->eventPending(slot_, generation_);
 }
 
-inline EventHandle Simulator::scheduleAt(SimTime t, Callback fn) {
+inline EventHandle Simulator::scheduleTagged(SimTime t, const EventDesc* desc,
+                                             Callback fn) {
   if (t < now_) {
     throw std::invalid_argument{"Simulator::scheduleAt: time is in the past"};
   }
@@ -303,6 +403,10 @@ inline EventHandle Simulator::scheduleAt(SimTime t, Callback fn) {
     throw std::invalid_argument{"Simulator::scheduleAt: empty callback"};
   }
   const std::uint32_t slot = acquireSlot();
+  if (descEnabled_) {
+    if (descs_.size() < slab_.size()) descs_.resize(slab_.size());
+    descs_[slot] = desc != nullptr ? *desc : EventDesc{};
+  }
   Slot& s = slab_[slot];
   s.fn = std::move(fn);
   const HeapKey key{timeToBits(t), nextSeq_++};
@@ -313,6 +417,15 @@ inline EventHandle Simulator::scheduleAt(SimTime t, Callback fn) {
     heapPush(key, aux);
   }
   return EventHandle{this, slot, s.generation};
+}
+
+inline EventHandle Simulator::scheduleAt(SimTime t, Callback fn) {
+  return scheduleTagged(t, nullptr, std::move(fn));
+}
+
+inline EventHandle Simulator::scheduleAt(SimTime t, const EventDesc& desc,
+                                         Callback fn) {
+  return scheduleTagged(t, &desc, std::move(fn));
 }
 
 inline void Simulator::heapPush(HeapKey key, HeapAux aux) {

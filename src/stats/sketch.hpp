@@ -20,6 +20,11 @@
 #include <cstddef>
 #include <vector>
 
+namespace glr::ckpt {
+class Encoder;
+class Decoder;
+}
+
 namespace glr::stats {
 
 /// Streaming central moments (Welford/Pébay updates): count, mean, M2-M4,
@@ -41,6 +46,10 @@ class Moments {
   [[nodiscard]] double kurtosisExcess() const;
   [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
   [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+
+  /// Checkpoint support: bit-exact accumulator state round-trip.
+  void saveState(ckpt::Encoder& e) const;
+  void restoreState(ckpt::Decoder& d);
 
  private:
   std::size_t n_ = 0;
@@ -81,6 +90,13 @@ class QuantileSketch {
   /// Live centroids (post-flush); bounded by maxCentroids() forever.
   [[nodiscard]] std::size_t centroidCount() const;
   [[nodiscard]] std::size_t maxCentroids() const { return centroidCap_; }
+
+  /// Checkpoint support: serializes the *raw* centroid list and pending
+  /// buffer without flushing, so the restored sketch is in the exact
+  /// in-memory state of the snapshotted one (flushing here would change
+  /// when the next compression happens and diverge from the golden run).
+  void saveState(ckpt::Encoder& e) const;
+  void restoreState(ckpt::Decoder& d);
 
  private:
   struct Centroid {

@@ -1,6 +1,10 @@
 #include "trace/reader.hpp"
 
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <stdexcept>
 
@@ -71,6 +75,62 @@ std::vector<Record> readTraceFile(const std::string& path) {
     fail(path, "trailing bytes after declared record count");
   }
   return records;
+}
+
+RecoveredTrace recoverTraceRecords(const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (!file) fail(path, "cannot open for reading");
+
+  FileHeader header;
+  if (std::fread(&header, sizeof(header), 1, file.get()) != 1) {
+    fail(path, "short file: not even a header to recover from");
+  }
+  if (header.magic != FileHeader{}.magic) fail(path, "bad magic");
+  if (header.version != 1) {
+    fail(path, "unsupported version " + std::to_string(header.version));
+  }
+  if (header.recordSize != sizeof(Record)) {
+    fail(path,
+         "unsupported record size " + std::to_string(header.recordSize));
+  }
+
+  RecoveredTrace out;
+  out.wasFinalized = header.recordCount != ~std::uint64_t{0};
+  out.declaredCount = out.wasFinalized ? header.recordCount : 0;
+  for (;;) {
+    std::uint32_t len = 0;
+    if (std::fread(&len, sizeof(len), 1, file.get()) != 1) break;  // EOF/torn
+    if (len != sizeof(Record)) break;  // corrupt prefix: stop salvaging
+    Record r;
+    if (std::fread(&r, sizeof(r), 1, file.get()) != 1) break;  // torn record
+    if (r.type < static_cast<std::uint8_t>(EventType::kCreated) ||
+        r.type > static_cast<std::uint8_t>(EventType::kSuspicion)) {
+      break;  // garbage past the intact prefix
+    }
+    out.records.push_back(r);
+  }
+  return out;
+}
+
+void writeTraceFile(const std::string& path,
+                    const std::vector<Record>& records) {
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (!file) {
+    fail(path, "cannot open for writing: " + std::string{std::strerror(errno)});
+  }
+  FileHeader header;
+  header.recordCount = records.size();
+  bool ok = std::fwrite(&header, sizeof(header), 1, file.get()) == 1;
+  const std::uint32_t len = sizeof(Record);
+  for (const Record& r : records) {
+    if (!ok) break;
+    ok = std::fwrite(&len, sizeof(len), 1, file.get()) == 1 &&
+         std::fwrite(&r, sizeof(r), 1, file.get()) == 1;
+  }
+  if (!ok || std::fflush(file.get()) != 0 ||
+      ::fsync(::fileno(file.get())) != 0) {
+    fail(path, "write failed: " + std::string{std::strerror(errno)});
+  }
 }
 
 ReplayTotals replayTotals(const std::vector<Record>& records) {

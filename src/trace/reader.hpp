@@ -28,6 +28,28 @@ namespace glr::trace {
 /// describing the first structural problem found.
 std::vector<Record> readTraceFile(const std::string& path);
 
+/// What recoverTraceRecords salvaged from a damaged trace.
+struct RecoveredTrace {
+  std::vector<Record> records;  // the intact prefix, in file order
+  bool wasFinalized = false;    // header held a real count (not ~0)
+  std::uint64_t declaredCount = 0;  // that count, when finalized
+};
+
+/// Salvages the intact record prefix of a trace whose writer never
+/// finalized (SIGKILL, power loss) or whose tail is torn: reads records
+/// until EOF, a short read, or a corrupt length prefix/type, keeping
+/// everything before the first defect. Only the header's magic, version and
+/// record size must be valid — those are written before any record, so any
+/// real trace passes. Throws std::runtime_error if even the header is
+/// unusable.
+RecoveredTrace recoverTraceRecords(const std::string& path);
+
+/// Writes `records` as a finalized trace file at `path` (header with the
+/// true count, fsynced). Throws std::runtime_error with path + errno on any
+/// I/O failure. This is `trace_inspect recover`'s output side.
+void writeTraceFile(const std::string& path,
+                    const std::vector<Record>& records);
+
 /// Counter totals reconstructed from a trace, mirroring the live
 /// ScenarioResult fields the round-trip differential pins.
 struct ReplayTotals {

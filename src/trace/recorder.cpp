@@ -1,12 +1,67 @@
 #include "trace/recorder.hpp"
 
+#include <pthread.h>
+#include <signal.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <bit>
+#include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <stdexcept>
 
 namespace glr::trace {
+
+namespace {
+
+// Live recorders, for the signal finalizer. Lock-free fixed slots: a signal
+// handler cannot take a mutex the interrupted thread might hold.
+constexpr std::size_t kMaxLiveRecorders = 32;
+std::atomic<Recorder*> liveRecorders[kMaxLiveRecorders];
+
+void registerRecorder(Recorder* r) {
+  for (auto& slot : liveRecorders) {
+    Recorder* expected = nullptr;
+    if (slot.compare_exchange_strong(expected, r)) return;
+  }
+  // More than kMaxLiveRecorders live at once: this one simply is not
+  // signal-finalized (its SIGKILL-equivalent truncation path still holds).
+}
+
+void deregisterRecorder(Recorder* r) {
+  for (auto& slot : liveRecorders) {
+    Recorder* expected = r;
+    if (slot.compare_exchange_strong(expected, nullptr)) return;
+  }
+}
+
+void finalizeAndReraise(int sig) {
+  for (auto& slot : liveRecorders) {
+    // Claim the slot first so a close() racing in cannot double-finalize.
+    if (Recorder* r = slot.exchange(nullptr)) r->close();
+  }
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+}  // namespace
+
+void Recorder::installSignalFinalize() {
+  static std::atomic<bool> installed{false};
+  if (installed.exchange(true)) return;
+  for (const int sig : {SIGINT, SIGTERM}) {
+    struct sigaction current{};
+    if (::sigaction(sig, nullptr, &current) != 0) continue;
+    // Respect a handler the host installed; only replace the default
+    // die-without-finalizing action.
+    if (current.sa_handler != SIG_DFL) continue;
+    struct sigaction action{};
+    action.sa_handler = &finalizeAndReraise;
+    ::sigemptyset(&action.sa_mask);
+    ::sigaction(sig, &action, nullptr);
+  }
+}
 
 Recorder::Recorder(sim::Simulator& sim, const std::string& path,
                    std::size_t ringCapacity)
@@ -20,12 +75,24 @@ Recorder::Recorder(sim::Simulator& sim, const std::string& path,
 
   file_ = std::fopen(path.c_str(), "wb");
   if (file_ == nullptr) {
-    throw std::runtime_error("trace: cannot open '" + path + "' for writing");
+    throw std::runtime_error("trace: cannot open '" + path +
+                             "' for writing: " + std::strerror(errno));
   }
   FileHeader header;  // recordCount stays ~0 until finalize
   std::fwrite(&header, sizeof(header), 1, file_);
 
+  // The writer inherits its signal mask from this thread: block
+  // SIGINT/SIGTERM across the spawn so the signal finalizer always lands on
+  // a thread that can join the writer (never on the writer itself).
+  sigset_t blocked, previous;
+  ::sigemptyset(&blocked);
+  ::sigaddset(&blocked, SIGINT);
+  ::sigaddset(&blocked, SIGTERM);
+  ::pthread_sigmask(SIG_BLOCK, &blocked, &previous);
   writer_ = std::thread([this] { writerLoop(); });
+  ::pthread_sigmask(SIG_SETMASK, &previous, nullptr);
+
+  registerRecorder(this);
 }
 
 Recorder::~Recorder() { close(); }
@@ -101,13 +168,22 @@ void Recorder::writerLoop() {
 void Recorder::close() {
   if (closed_) return;
   closed_ = true;
+  deregisterRecorder(this);
   stop_.store(true, std::memory_order_release);
   if (writer_.joinable()) writer_.join();
-  // Patch the true record count into the header and close.
+  // Patch the true record count into the header, then make the finalized
+  // file durable before closing: a SIGINT/SIGTERM finalize is immediately
+  // followed by process death, so data still in stdio or page-cache limbo
+  // would quietly undo it. Failures are reported, not thrown — this also
+  // runs from the destructor.
   FileHeader header;
   header.recordCount = head_.load(std::memory_order_relaxed);
-  std::fseek(file_, 0, SEEK_SET);
-  std::fwrite(&header, sizeof(header), 1, file_);
+  if (std::fseek(file_, 0, SEEK_SET) != 0 ||
+      std::fwrite(&header, sizeof(header), 1, file_) != 1 ||
+      std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
+    std::fprintf(stderr, "trace: finalize failed: %s\n",
+                 std::strerror(errno));
+  }
   std::fclose(file_);
   file_ = nullptr;
 }

@@ -96,8 +96,24 @@ class Recorder {
               std::uint8_t flag = 0) noexcept;
 
   /// Drains the ring, joins the writer thread, patches the header's record
-  /// count and closes the file. Idempotent; also run by the destructor.
+  /// count, fsyncs and closes the file — after this the trace survives an
+  /// immediate process death. Idempotent; also run by the destructor.
   void close();
+
+  /// Installs SIGINT/SIGTERM handlers (once, process-wide) that finalize
+  /// every live Recorder — drain the ring, patch the header, fsync — and
+  /// then re-raise the signal with its default action, so the process still
+  /// dies with the interrupted status. A handler the host already installed
+  /// is left alone. The writer thread runs with these signals blocked, so
+  /// the finalize never deadlocks joining the thread it interrupted.
+  ///
+  /// Best-effort by nature: the finalize runs non-async-signal-safe calls
+  /// on the signaled thread, which is sound for recorders that thread owns
+  /// (the single-scenario CLI case this exists for); a recorder owned by a
+  /// concurrently-running thread can race, and the worst outcome is the
+  /// same truncated-but-recoverable file an uncatchable SIGKILL leaves
+  /// (salvage with `trace_inspect recover`).
+  static void installSignalFinalize();
 
   /// Events recorded so far (== records in the file after close()).
   /// Deterministic: a pure function of the simulated event sequence.

@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <functional>
 #include <string>
 #include <vector>
@@ -505,6 +506,32 @@ TEST(RadioLaws, WorldGatesAndReportsPerNodeRadioState) {
   world.setRadioUp(0, true);
   EXPECT_TRUE(world.radioUp(0));
   EXPECT_TRUE(world.macOf(0).send(p, glr::net::kBroadcast));
+}
+
+TEST(CrashSafetyLaws, RestoringTheSameSnapshotTwiceIsBitIdentical) {
+  // Restore must be a pure read of the snapshot: restoring the same file
+  // into two fresh scenarios must both continue bit-identically to the
+  // uninterrupted run — no hidden mutation of the file or global state.
+  ScenarioConfig cfg;
+  cfg.numNodes = 20;
+  cfg.trafficNodes = 16;
+  cfg.simTime = 150.0;
+  cfg.numMessages = 40;
+  cfg.seed = 33;
+  cfg.checkpointEvery = 100.0;
+  cfg.checkpointPath = testing::TempDir() + "invariant_restore.ckpt";
+  const ScenarioResult golden = glr::experiment::runScenario(cfg);
+
+  ScenarioConfig resumed = cfg;
+  resumed.checkpointPath.clear();
+  resumed.restoreFrom = cfg.checkpointPath;
+  const ScenarioResult first = glr::experiment::runScenario(resumed);
+  const ScenarioResult second = glr::experiment::runScenario(resumed);
+  EXPECT_TRUE(bitIdenticalIgnoringWall(golden, first))
+      << "first restore diverged from the uninterrupted run";
+  EXPECT_TRUE(bitIdenticalIgnoringWall(first, second))
+      << "second restore of the same snapshot diverged from the first";
+  std::remove(cfg.checkpointPath.c_str());
 }
 
 TEST(ClockLaws, SimulatorTimeIsMonotoneAcrossCallbacks) {

@@ -431,4 +431,26 @@ TEST(NodeExport, RejectsUnknownExtension) {
   EXPECT_THROW((void)runScenario(cfg), std::invalid_argument);
 }
 
+TEST(NodeExport, UnwritablePathFailsLoudlyWithPathAndErrno) {
+  // An export that cannot be written must throw naming the path and the OS
+  // error — a run that "succeeds" while silently dropping its artifact is a
+  // debugging trap.
+  ScenarioConfig cfg;
+  cfg.numNodes = 5;
+  cfg.trafficNodes = 4;
+  cfg.simTime = 5.0;
+  cfg.numMessages = 2;
+  cfg.nodeCountersPath =
+      testing::TempDir() + "no_such_export_dir/nodes.csv";
+  try {
+    (void)runScenario(cfg);
+    FAIL() << "unwritable export path not detected";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(cfg.nodeCountersPath), std::string::npos) << what;
+    EXPECT_NE(what.find("No such file or directory"), std::string::npos)
+        << what;
+  }
+}
+
 }  // namespace

@@ -15,8 +15,12 @@
 //   trace_inspect timeline <trace> <src> <seq> one message's hop timeline
 //   trace_inspect filter <trace> [--node N] [--type NAME] [--limit K]
 //                                              matching records, one per line
+//   trace_inspect recover <trace> [<out>]      salvage the intact prefix of
+//                                              an unfinalized/torn trace
+//                                              into a finalized file
 //   trace_inspect selftest                     write + read back a tiny
-//                                              trace (CI smoke, no scenario)
+//                                              trace, then truncate and
+//                                              recover it (CI smoke)
 
 #include <cstdio>
 #include <cstdlib>
@@ -121,6 +125,23 @@ int cmdFilter(const std::string& path, int argc, char** argv) {
   return 0;
 }
 
+int cmdRecover(const std::string& path, const std::string& out) {
+  const auto recovered = glr::trace::recoverTraceRecords(path);
+  if (recovered.wasFinalized &&
+      recovered.declaredCount == recovered.records.size()) {
+    std::printf("already finalized and intact: %zu records (nothing to do)\n",
+                recovered.records.size());
+    return 0;
+  }
+  glr::trace::writeTraceFile(out, recovered.records);
+  std::printf("recovered %zu record(s) -> %s (%s)\n",
+              recovered.records.size(), out.c_str(),
+              recovered.wasFinalized
+                  ? "finalized header but torn records"
+                  : "writer never finalized — truncated run");
+  return 0;
+}
+
 // Writes a tiny synthetic trace through the real Recorder (ring + writer
 // thread + finalize), reads it back, and checks the replayed totals — a CI
 // smoke for the whole binary path without running a scenario.
@@ -153,6 +174,49 @@ int cmdSelftest() {
                  timeline.size());
     return 1;
   }
+
+  // Crash-recovery leg: simulate a SIGKILLed run (header unfinalized,
+  // record count ~0, torn tail) and salvage the intact prefix.
+  const std::string crashed = "trace_inspect_selftest_crashed.bin";
+  {
+    glr::trace::FileHeader header;  // recordCount stays ~0: never finalized
+    std::FILE* f = std::fopen(crashed.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "selftest FAILED: cannot write %s\n",
+                   crashed.c_str());
+      return 1;
+    }
+    std::fwrite(&header, sizeof(header), 1, f);
+    const std::uint32_t len = sizeof(Record);
+    for (const Record& r : records) {
+      std::fwrite(&len, sizeof(len), 1, f);
+      std::fwrite(&r, sizeof(r), 1, f);
+    }
+    std::fwrite(&len, sizeof(len), 1, f);  // torn: a length with no record
+    std::fclose(f);
+  }
+  bool refused = false;
+  try {
+    (void)glr::trace::readTraceFile(crashed);
+  } catch (const std::exception&) {
+    refused = true;  // the strict reader must keep rejecting such a file
+  }
+  const auto recovered = glr::trace::recoverTraceRecords(crashed);
+  const std::string salvaged = crashed + ".recovered";
+  glr::trace::writeTraceFile(salvaged, recovered.records);
+  const auto reread = glr::trace::readTraceFile(salvaged);
+  std::remove(crashed.c_str());
+  std::remove(salvaged.c_str());
+  if (!refused || recovered.wasFinalized ||
+      recovered.records.size() != records.size() ||
+      reread.size() != records.size()) {
+    std::fprintf(stderr,
+                 "selftest FAILED: recover salvaged %zu of %zu records "
+                 "(refused=%d)\n",
+                 recovered.records.size(), records.size(), refused ? 1 : 0);
+    return 1;
+  }
+
   std::printf("selftest ok\n");
   return 0;
 }
@@ -165,6 +229,7 @@ int usage() {
       "  summary <trace>                      replayed totals\n"
       "  timeline <trace> <src> <seq>         one message's hop timeline\n"
       "  filter <trace> [--node N] [--type NAME] [--limit K]\n"
+      "  recover <trace> [<out>]              salvage an unfinalized trace\n"
       "  selftest                             write/read a tiny trace\n");
   return 2;
 }
@@ -185,6 +250,9 @@ int main(int argc, char** argv) {
       return cmdTimeline(path, std::atoi(argv[3]), std::atoi(argv[4]));
     }
     if (cmd == "filter") return cmdFilter(path, argc - 3, argv + 3);
+    if (cmd == "recover") {
+      return cmdRecover(path, argc >= 4 ? argv[3] : path + ".recovered");
+    }
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
